@@ -1,0 +1,251 @@
+// Package anyscan is a Go implementation of anySCAN — the anytime, parallel,
+// exact structural graph clustering algorithm of Mai et al., "Scalable and
+// Interactive Graph Clustering Algorithm on Multicore CPUs" (ICDE 2017) —
+// together with the weighted-graph substrate, the batch competitors it is
+// evaluated against (SCAN, SCAN-B, SCAN++, pSCAN) and the paper's benchmark
+// suite.
+//
+// # Quick start
+//
+//	g, _, err := anyscan.LoadEdgeListFile("graph.txt", anyscan.LoadOptions{Remap: true})
+//	if err != nil { ... }
+//	res, metrics, err := anyscan.Cluster(g, anyscan.DefaultOptions())
+//	for v := 0; v < res.N(); v++ {
+//		fmt.Println(v, res.Roles[v], res.Labels[v])
+//	}
+//
+// # Anytime / interactive use
+//
+//	c, err := anyscan.New(g, opts)
+//	for c.Step() {            // one block of work at a time
+//		snap := c.Snapshot()  // best-so-far clustering, inspect freely
+//		if goodEnough(snap) {
+//			break             // or just stop calling Step: the run is suspended
+//		}
+//	}
+//
+// Clustering semantics follow the paper: given μ and ε, a vertex is a core
+// when at least μ vertices of its closed neighborhood (itself included) have
+// weighted structural similarity ≥ ε to it; clusters are the maximal sets of
+// density-connected vertices; non-core cluster members are borders; the rest
+// are hubs (touching several clusters) or outliers. Run to completion,
+// anySCAN yields exactly the SCAN clustering (shared borders are assigned to
+// one of their qualifying clusters, as in SCAN).
+package anyscan
+
+import (
+	"context"
+	"io"
+	"os"
+	"strings"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/core"
+	"anyscan/internal/eval"
+	"anyscan/internal/graph"
+	"anyscan/internal/scan"
+	"anyscan/internal/simeval"
+)
+
+// Graph is a weighted undirected graph in CSR form; build one with a
+// Builder, a generator from the gen tooling, or the edge-list loaders.
+type Graph = graph.CSR
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder = graph.Builder
+
+// LoadOptions configures edge-list parsing.
+type LoadOptions = graph.LoadOptions
+
+// Stats summarizes a graph (|V|, |E|, average degree, clustering coefficient).
+type Stats = graph.Stats
+
+// Result is a clustering: per-vertex roles and cluster labels.
+type Result = cluster.Result
+
+// Role classifies a vertex (core, border, hub, outlier).
+type Role = cluster.Role
+
+// Roles.
+const (
+	RoleUnclassified = cluster.Unclassified
+	RoleOutlier      = cluster.Outlier
+	RoleHub          = cluster.Hub
+	RoleBorder       = cluster.Border
+	RoleCore         = cluster.Core
+)
+
+// NoLabel marks vertices outside every cluster.
+const NoLabel = cluster.NoLabel
+
+// Options configures an anySCAN run (μ, ε, block sizes α/β, threads, seed,
+// similarity optimizations).
+type Options = core.Options
+
+// SimOptions toggles the Section III-D similarity optimizations.
+type SimOptions = simeval.Options
+
+// Clusterer is a suspendable/resumable anySCAN run.
+type Clusterer = core.Clusterer
+
+// Metrics reports the work performed by an anySCAN run.
+type Metrics = core.Metrics
+
+// BatchMetrics reports the work performed by one of the batch algorithms.
+type BatchMetrics = scan.Metrics
+
+// Phase identifies an anySCAN stage (summarize, strong-merge, weak-merge,
+// borders, done).
+type Phase = core.Phase
+
+// Progress describes where an anytime run stands.
+type Progress = core.Progress
+
+// DefaultOptions returns the paper's defaults: μ=5, ε=0.5, α=β=8192, all
+// optimizations enabled, GOMAXPROCS workers.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// New prepares an anytime anySCAN run over g.
+func New(g *Graph, opt Options) (*Clusterer, error) { return core.New(g, opt) }
+
+// Cluster runs anySCAN to completion and returns the final clustering.
+func Cluster(g *Graph, opt Options) (*Result, Metrics, error) { return core.Cluster(g, opt) }
+
+// Run drives a fresh anySCAN run under ctx; if ctx is canceled the partial
+// best-so-far result is returned along with the context error.
+func Run(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	c, err := core.New(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx)
+}
+
+// SCAN runs the original SCAN algorithm (Xu et al., KDD 2007), generalized
+// to weighted graphs. Exact but evaluates 2|E| similarities.
+func SCAN(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCAN(g, mu, eps) }
+
+// SCANB runs SCAN-B: SCAN plus the Lemma-5 pruning and early-exit
+// optimizations (Section III-D of the paper).
+func SCANB(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCANB(g, mu, eps) }
+
+// PSCAN runs pSCAN (Chang et al., ICDE 2016), the strongest exact
+// sequential competitor.
+func PSCAN(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.PSCAN(g, mu, eps) }
+
+// SCANPP runs SCAN++ (Shiokawa et al., PVLDB 2015).
+func SCANPP(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCANPP(g, mu, eps) }
+
+// ParallelSCAN runs the naive parallelization of SCAN: all-edge similarity
+// evaluation in parallel, sequential label propagation. Exact, but not
+// work-efficient (always |E| evaluations' worth of work).
+func ParallelSCAN(g *Graph, mu int, eps float64, threads int) (*Result, BatchMetrics) {
+	return scan.ParallelSCAN(g, mu, eps, threads)
+}
+
+// ApproxSCAN runs a LinkSCAN*-style sampled approximation of SCAN: each
+// vertex evaluates σ on roughly a rho fraction of its edges and coreness is
+// estimated from the sampled hit rate. Fast but unrefinable — contrast with
+// the anytime Clusterer, whose intermediate results converge to exactness.
+func ApproxSCAN(g *Graph, mu int, eps, rho float64, seed int64) (*Result, BatchMetrics) {
+	return scan.ApproxSCAN(g, mu, eps, rho, seed)
+}
+
+// Reference computes the clustering by the literal Definitions 2–5; slow,
+// for validation.
+func Reference(g *Graph, mu int, eps float64) *Result { return cluster.Reference(g, mu, eps) }
+
+// Validate checks that res is a correct SCAN clustering of g under (μ, ε).
+func Validate(g *Graph, mu int, eps float64, res *Result) error {
+	return cluster.Validate(g, mu, eps, res)
+}
+
+// NMI returns the normalized mutual information between two clusterings
+// (noise treated as one special cluster), the quality measure of the
+// paper's anytime experiments.
+func NMI(a, b *Result) float64 { return eval.NMI(a, b) }
+
+// ARI returns the Adjusted Rand Index between two clusterings.
+func ARI(a, b *Result) float64 { return eval.ARI(a, b) }
+
+// Modularity returns the Newman weighted modularity Q of a clustering of g
+// (noise as singletons) — a ground-truth-free quality score, handy for
+// picking ε during interactive exploration.
+func Modularity(g *Graph, r *Result) float64 { return eval.Modularity(g, r) }
+
+// ComputeStats returns exact graph statistics.
+func ComputeStats(g *Graph) Stats { return graph.ComputeStats(g) }
+
+// FromEdges builds a graph from (u, v, w) triples.
+func FromEdges(n int, edges [][3]float64) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// FromUnweightedEdges builds a weight-1 graph from (u, v) pairs.
+func FromUnweightedEdges(n int, edges [][2]int32) (*Graph, error) {
+	return graph.FromUnweightedEdges(n, edges)
+}
+
+// LoadEdgeListFile parses a SNAP-style edge-list file ("u v" or "u v w" per
+// line, '#' comments). With Remap set, arbitrary ids are compacted and the
+// original id of each dense vertex is returned.
+func LoadEdgeListFile(path string, opts LoadOptions) (*Graph, []int64, error) {
+	return graph.LoadEdgeListFile(path, opts)
+}
+
+// LoadMETIS parses a graph in METIS/Chaco format (with optional edge
+// weights).
+func LoadMETIS(r io.Reader) (*Graph, error) { return graph.LoadMETIS(r) }
+
+// ReadBinary deserializes a graph written with Graph.WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// LoadGraphFile loads a graph choosing the format from the file extension:
+// ".metis"/".graph" → METIS, ".bin" → the compact binary container,
+// anything else → whitespace edge list (with id remapping; the returned id
+// slice is non-nil only in that case).
+func LoadGraphFile(path string) (*Graph, []int64, error) {
+	switch {
+	case strings.HasSuffix(path, ".metis"), strings.HasSuffix(path, ".graph"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		g, err := graph.LoadMETIS(f)
+		return g, nil, err
+	case strings.HasSuffix(path, ".bin"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadBinary(f)
+		return g, nil, err
+	default:
+		return graph.LoadEdgeListFile(path, LoadOptions{Remap: true})
+	}
+}
+
+// LoadCheckpoint reconstructs a suspended anytime run over g from a
+// checkpoint written with Clusterer.SaveCheckpoint; the resumed run
+// continues exactly where it stopped, in this process or another.
+func LoadCheckpoint(g *Graph, r io.Reader) (*Clusterer, error) {
+	return core.LoadCheckpoint(g, r)
+}
+
+// WriteAssignments writes a clustering as "vertex cluster role" lines.
+func WriteAssignments(w io.Writer, r *Result) error { return cluster.WriteAssignments(w, r) }
+
+// ReadAssignments parses a clustering written by WriteAssignments.
+func ReadAssignments(r io.Reader) (*Result, error) { return cluster.ReadAssignments(r) }
+
+// InducedSubgraph returns the subgraph induced by the given vertices plus
+// the original id of each new vertex.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32, error) {
+	return graph.InducedSubgraph(g, vertices)
+}
+
+// LargestComponent returns the induced subgraph of g's largest connected
+// component (a common preprocessing step before clustering).
+func LargestComponent(g *Graph) (*Graph, []int32, error) {
+	return graph.LargestComponent(g)
+}

@@ -1,0 +1,157 @@
+package anyscan
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section IV), each delegating to the experiment harness at a reduced
+// scale, plus micro-benchmarks for the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-size reports use cmd/benchrunner, which prints the actual
+// rows/series the paper plots.
+
+import (
+	"io"
+	"testing"
+
+	"anyscan/internal/bench"
+	"anyscan/internal/core"
+	"anyscan/internal/datasets"
+	"anyscan/internal/scan"
+	"anyscan/internal/simeval"
+)
+
+// benchScale keeps the experiment benchmarks fast enough for go test -bench.
+const benchScale = 0.12
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := bench.DefaultConfig(io.Discard)
+	cfg.Scale = benchScale
+	cfg.Threads = []int{1, 2, 4}
+	cfg.Alpha, cfg.Beta = 256, 256
+	exp, err := bench.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the dataset cache so generation cost is not measured.
+	if err := exp.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2LFR(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkFig5Anytime(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6Sweeps(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7Counts(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8Blocks(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9Synthetic(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10Threads(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11Ideal(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12Unions(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13ParamScal(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14SynthScal(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkAblation(b *testing.B)       { benchExperiment(b, "ablation") }
+func BenchmarkApprox(b *testing.B)         { benchExperiment(b, "approx") }
+func BenchmarkMapReduce(b *testing.B)      { benchExperiment(b, "mapreduce") }
+
+// --- micro-benchmarks -----------------------------------------------------
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	return datasets.MustLoad("GR03L", benchScale)
+}
+
+func BenchmarkSimilarityEval(b *testing.B) {
+	g := benchGraph(b)
+	eng := simeval.New(g, 0.5, simeval.Options{})
+	adj, wts := g.Neighbors(0)
+	if len(adj) == 0 {
+		b.Skip("vertex 0 isolated")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(adj)
+		eng.SimilarEdge(0, adj[j], wts[j])
+	}
+}
+
+func BenchmarkSimilarityEvalOptimized(b *testing.B) {
+	g := benchGraph(b)
+	eng := simeval.New(g, 0.5, simeval.AllOptimizations)
+	adj, wts := g.Neighbors(0)
+	if len(adj) == 0 {
+		b.Skip("vertex 0 isolated")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(adj)
+		eng.SimilarEdge(0, adj[j], wts[j])
+	}
+}
+
+func benchAlgo(b *testing.B, run func(g *Graph)) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(g)
+	}
+}
+
+func BenchmarkSCAN(b *testing.B) {
+	benchAlgo(b, func(g *Graph) { scan.SCAN(g, 5, 0.5) })
+}
+
+func BenchmarkSCANB(b *testing.B) {
+	benchAlgo(b, func(g *Graph) { scan.SCANB(g, 5, 0.5) })
+}
+
+func BenchmarkSCANPP(b *testing.B) {
+	benchAlgo(b, func(g *Graph) { scan.SCANPP(g, 5, 0.5) })
+}
+
+func BenchmarkPSCAN(b *testing.B) {
+	benchAlgo(b, func(g *Graph) { scan.PSCAN(g, 5, 0.5) })
+}
+
+func benchAnySCAN(b *testing.B, threads int) {
+	o := core.DefaultOptions()
+	o.Threads = threads
+	o.Alpha, o.Beta = 256, 256
+	benchAlgo(b, func(g *Graph) {
+		if _, _, err := core.Cluster(g, o); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkAnySCAN1Thread(b *testing.B)  { benchAnySCAN(b, 1) }
+func BenchmarkAnySCAN4Threads(b *testing.B) { benchAnySCAN(b, 4) }
+
+func BenchmarkIdealParallel(b *testing.B) {
+	benchAlgo(b, func(g *Graph) { scan.Ideal(g, 0.5, 4) })
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	g := benchGraph(b)
+	o := core.DefaultOptions()
+	o.Alpha, o.Beta = 256, 256
+	c, err := core.New(g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Midway through Step 1: the interesting anytime case.
+	for i := 0; i < 4; i++ {
+		c.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Snapshot()
+	}
+}

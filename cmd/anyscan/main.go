@@ -1,0 +1,323 @@
+// Command anyscan clusters a graph with the anytime parallel anySCAN
+// algorithm (or one of the exact batch baselines).
+//
+// Batch mode clusters a graph file and writes "vertex label role" lines:
+//
+//	anyscan -input graph.txt -mu 5 -eps 0.5 -o clusters.txt
+//	anyscan -input graph.metis -algorithm pscan
+//
+// Interactive mode demonstrates the paper's suspend/inspect/resume scheme:
+// the run pauses after every progress report and accepts commands on stdin
+// ("c" continue, "s" snapshot summary, "q" stop with the best-so-far
+// result):
+//
+//	anyscan -input graph.txt -interactive
+//
+// Sweep mode explores several ε values from a single similarity pass:
+//
+//	anyscan -input graph.txt -sweep 0.2,0.3,0.4,0.5,0.6
+//
+// Without -input, a synthetic dataset stand-in can be clustered directly:
+//
+//	anyscan -dataset GR01L -eps 0.6
+//
+// Input formats by extension: .metis/.graph (METIS), .bin (binary
+// container), anything else (whitespace edge list, '#' comments).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anyscan"
+	"anyscan/internal/datasets"
+)
+
+func main() {
+	input := flag.String("input", "", "graph file to cluster (.metis/.graph, .bin, or edge list)")
+	dataset := flag.String("dataset", "", "synthetic dataset stand-in to cluster instead of -input (e.g. GR01L)")
+	scale := flag.Float64("scale", 0.5, "scale factor for -dataset")
+	algorithm := flag.String("algorithm", "anyscan", "anyscan | scan | scanb | scanpp | pscan | overlap")
+	mu := flag.Int("mu", 5, "μ: minimum ε-neighborhood size for cores")
+	eps := flag.Float64("eps", 0.5, "ε: structural similarity threshold")
+	alpha := flag.Int("alpha", 0, "Step-1 block size α (0 = max(128, |V|/128))")
+	beta := flag.Int("beta", 0, "Step-2/3 block size β (0 = like alpha)")
+	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	interactive := flag.Bool("interactive", false, "pause for commands between progress reports (anyscan only)")
+	every := flag.Int("every", 4, "iterations between progress reports")
+	sweepList := flag.String("sweep", "", "comma-separated ε values to explore from one similarity pass")
+	output := flag.String("o", "", "write 'vertex label role' lines to this file")
+	checkpoint := flag.String("checkpoint", "", "write a resumable checkpoint here when quitting an interactive run early")
+	resume := flag.String("resume", "", "resume an anyscan run from this checkpoint file")
+	flag.Parse()
+
+	g, ids, err := load(*input, *dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	s := anyscan.ComputeStats(g)
+	fmt.Printf("graph: %d vertices, %d edges, d̄=%.2f, c=%.4f\n", s.Vertices, s.Edges, s.AvgDegree, s.AvgCC)
+
+	if *sweepList != "" {
+		if err := runSweep(g, *mu, *threads, *sweepList); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var res *anyscan.Result
+	switch *algorithm {
+	case "anyscan":
+		res = runAnySCAN(g, anyCfg{
+			mu: *mu, eps: *eps, alpha: *alpha, beta: *beta, threads: *threads,
+			interactive: *interactive, every: *every,
+			checkpoint: *checkpoint, resume: *resume,
+		})
+	case "scan", "scanb", "scanpp", "pscan":
+		res = runBatch(*algorithm, g, *mu, *eps)
+	case "overlap":
+		runOverlap(g, *mu, *eps)
+		return
+	default:
+		fatal(fmt.Errorf("unknown -algorithm %q", *algorithm))
+	}
+
+	if *output != "" {
+		if err := writeResult(*output, res, ids); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *output)
+	}
+}
+
+type anyCfg struct {
+	mu                 int
+	eps                float64
+	alpha, beta        int
+	threads            int
+	interactive        bool
+	every              int
+	checkpoint, resume string
+}
+
+func runAnySCAN(g *anyscan.Graph, cfg anyCfg) *anyscan.Result {
+	var c *anyscan.Clusterer
+	if cfg.resume != "" {
+		f, err := os.Open(cfg.resume)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = anyscan.LoadCheckpoint(g, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s at phase %s (iteration %d)\n", cfg.resume, c.Phase(), c.Progress().Iterations)
+	} else {
+		opts := anyscan.DefaultOptions()
+		opts.Mu, opts.Eps = cfg.mu, cfg.eps
+		alpha, beta := cfg.alpha, cfg.beta
+		if alpha <= 0 {
+			alpha = g.NumVertices() / 128
+			if alpha < 128 {
+				alpha = 128
+			}
+		}
+		if beta <= 0 {
+			beta = alpha
+		}
+		opts.Alpha, opts.Beta = alpha, beta
+		if cfg.threads > 0 {
+			opts.Threads = cfg.threads
+		}
+		var err error
+		c, err = anyscan.New(g, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	interactive, every := cfg.interactive, cfg.every
+
+	stdin := bufio.NewScanner(os.Stdin)
+	start := time.Now()
+	iter := 0
+	n := g.NumVertices()
+	for c.Step() {
+		iter++
+		if iter%every != 0 {
+			continue
+		}
+		p := c.Progress()
+		fmt.Printf("[%7.2fs] iter=%d phase=%s super-nodes=%d touched=%d/%d\n",
+			time.Since(start).Seconds(), p.Iterations, p.Phase, p.SuperNodes, p.Touched, n)
+		if interactive && !prompt(c, stdin) {
+			fmt.Println("stopped early; reporting the best-so-far clustering")
+			if cfg.checkpoint != "" {
+				if err := saveCheckpoint(c, cfg.checkpoint); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("checkpoint written to %s (resume with -resume %s)\n", cfg.checkpoint, cfg.checkpoint)
+			}
+			break
+		}
+	}
+	res := c.Snapshot()
+	m := c.Metrics()
+	counts := res.RoleCounts()
+	fmt.Printf("done in %v (algorithm time %v, %d iterations)\n",
+		time.Since(start).Round(time.Millisecond), m.Elapsed.Round(time.Millisecond), m.Iterations)
+	fmt.Printf("clusters=%d cores=%d borders=%d hubs=%d outliers=%d unclassified=%d\n",
+		res.NumClusters, counts.Cores, counts.Borders, counts.Hubs, counts.Outliers, counts.Unclassified)
+	fmt.Printf("work: %d similarity evals (+%d pruned), %d unions, %d super-nodes\n",
+		m.Sim.Sims, m.Sim.Pruned, m.Unions(), m.SuperNodes)
+	return res
+}
+
+func saveCheckpoint(c *anyscan.Clusterer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.SaveCheckpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runBatch(name string, g *anyscan.Graph, mu int, eps float64) *anyscan.Result {
+	var run func(*anyscan.Graph, int, float64) (*anyscan.Result, anyscan.BatchMetrics)
+	switch name {
+	case "scan":
+		run = anyscan.SCAN
+	case "scanb":
+		run = anyscan.SCANB
+	case "scanpp":
+		run = anyscan.SCANPP
+	case "pscan":
+		run = anyscan.PSCAN
+	}
+	res, m := run(g, mu, eps)
+	counts := res.RoleCounts()
+	fmt.Printf("%s done in %v\n", name, m.Elapsed.Round(time.Millisecond))
+	fmt.Printf("clusters=%d cores=%d borders=%d hubs=%d outliers=%d\n",
+		res.NumClusters, counts.Cores, counts.Borders, counts.Hubs, counts.Outliers)
+	fmt.Printf("work: %d similarity evals (+%d pruned, %d shared)\n",
+		m.Sim.Sims, m.Sim.Pruned, m.Sim.Shared)
+	return res
+}
+
+func runOverlap(g *anyscan.Graph, mu int, eps float64) {
+	start := time.Now()
+	ov, err := anyscan.OverlappingCommunities(g, anyscan.OverlapOptions{Mu: mu, Eps: eps})
+	if err != nil {
+		fatal(err)
+	}
+	hist := map[int]int{}
+	maxDeg := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		d := ov.OverlapDegree(v)
+		hist[d]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Printf("link-space clustering done in %v: %d overlapping communities\n",
+		time.Since(start).Round(time.Millisecond), ov.NumCommunities)
+	for d := 0; d <= maxDeg; d++ {
+		if hist[d] > 0 {
+			fmt.Printf("  in %d communities: %d vertices\n", d, hist[d])
+		}
+	}
+}
+
+func runSweep(g *anyscan.Graph, mu, threads int, list string) error {
+	var epsValues []float64
+	for _, part := range strings.Split(list, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad -sweep entry %q: %w", part, err)
+		}
+		epsValues = append(epsValues, e)
+	}
+	start := time.Now()
+	ex, err := anyscan.NewExplorer(g, mu, threads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explorer built in %v (one σ per edge)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println("     ε  clusters    cores  borders     hubs  outliers")
+	for _, p := range ex.SweepProfile(epsValues) {
+		fmt.Printf("  %.3f  %8d  %7d  %7d  %7d  %8d\n",
+			p.Eps, p.Clusters, p.Counts.Cores, p.Counts.Borders, p.Counts.Hubs, p.Counts.Outliers)
+	}
+	return nil
+}
+
+// prompt handles one interactive pause; returns false to stop the run.
+func prompt(c *anyscan.Clusterer, stdin *bufio.Scanner) bool {
+	for {
+		fmt.Print("anyscan> [c]ontinue  [s]napshot  [q]uit: ")
+		if !stdin.Scan() {
+			return true // EOF: just keep running to completion
+		}
+		switch stdin.Text() {
+		case "", "c":
+			return true
+		case "s":
+			snap := c.Snapshot()
+			counts := snap.RoleCounts()
+			fmt.Printf("  best-so-far: clusters=%d cores=%d borders=%d noise=%d unclassified=%d\n",
+				snap.NumClusters, counts.Cores, counts.Borders, counts.Noise(), counts.Unclassified)
+		case "q":
+			return false
+		default:
+			fmt.Println("  commands: c (continue), s (snapshot), q (quit)")
+		}
+	}
+}
+
+func load(input, dataset string, scale float64) (*anyscan.Graph, []int64, error) {
+	switch {
+	case input != "" && dataset != "":
+		return nil, nil, fmt.Errorf("use either -input or -dataset, not both")
+	case input != "":
+		return anyscan.LoadGraphFile(input)
+	case dataset != "":
+		g, err := datasets.Load(dataset, scale)
+		return g, nil, err
+	default:
+		return nil, nil, fmt.Errorf("need -input FILE or -dataset NAME (known: %v)", datasets.Names())
+	}
+}
+
+func writeResult(path string, res *anyscan.Result, ids []int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# vertex cluster role")
+	for v := 0; v < res.N(); v++ {
+		id := int64(v)
+		if ids != nil {
+			id = ids[v]
+		}
+		fmt.Fprintf(w, "%d %d %s\n", id, res.Labels[v], res.Roles[v])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anyscan:", err)
+	os.Exit(1)
+}

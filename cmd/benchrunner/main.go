@@ -1,0 +1,75 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// evaluation (Section IV) on the scaled-down synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	benchrunner [flags] <experiment>...
+//	benchrunner -list
+//	benchrunner all
+//
+// Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 (see DESIGN.md for the experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"anyscan/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig(os.Stdout)
+	scale := flag.Float64("scale", cfg.Scale, "dataset scale factor (1.0 = default reduced scale)")
+	threads := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts for scalability experiments")
+	mu := flag.Int("mu", cfg.Mu, "μ: minimum ε-neighborhood size for cores")
+	eps := flag.Float64("eps", cfg.Eps, "ε: structural similarity threshold")
+	alpha := flag.Int("alpha", cfg.Alpha, "anySCAN Step-1 block size α")
+	beta := flag.Int("beta", cfg.Beta, "anySCAN Step-2/3 block size β")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg.Scale, cfg.Mu, cfg.Eps, cfg.Alpha, cfg.Beta = *scale, *mu, *eps, *alpha, *beta
+	cfg.Threads = cfg.Threads[:0]
+	for _, part := range strings.Split(*threads, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			fmt.Fprintf(os.Stderr, "benchrunner: bad -threads entry %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, t)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: name experiments to run, or 'all' (-list to enumerate)")
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = names[:0]
+		for _, e := range bench.Experiments() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		exp, err := bench.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		if err := exp.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

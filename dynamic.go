@@ -1,0 +1,19 @@
+package anyscan
+
+import "anyscan/internal/dynamic"
+
+// Maintainer keeps the exact SCAN clustering of a mutable weighted graph up
+// to date under edge insertions, deletions and weight updates, re-evaluating
+// only the O(deg(u)+deg(v)) similarities a mutation can affect (the dynamic
+// networks scenario of DENGRAPH in the paper's related work).
+type Maintainer = dynamic.Maintainer
+
+// NewMaintainer returns a Maintainer over n isolated vertices.
+func NewMaintainer(n, mu int, eps float64) (*Maintainer, error) {
+	return dynamic.New(n, mu, eps)
+}
+
+// NewMaintainerFromGraph returns a Maintainer preloaded with g's edges.
+func NewMaintainerFromGraph(g *Graph, mu int, eps float64) (*Maintainer, error) {
+	return dynamic.FromGraph(g, mu, eps)
+}

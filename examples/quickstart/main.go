@@ -1,0 +1,58 @@
+// Quickstart: cluster a small social network with anySCAN and print the
+// communities, hubs and outliers it finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anyscan"
+)
+
+func main() {
+	// Zachary's karate club: 34 members, 78 friendship ties. The club
+	// famously split into two factions — structural clustering finds them.
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 10},
+		{0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21}, {0, 31},
+		{1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19}, {1, 21}, {1, 30},
+		{2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13}, {2, 27}, {2, 28}, {2, 32},
+		{3, 7}, {3, 12}, {3, 13}, {4, 6}, {4, 10}, {5, 6}, {5, 10}, {5, 16},
+		{6, 16}, {8, 30}, {8, 32}, {8, 33}, {9, 33}, {13, 33}, {14, 32}, {14, 33},
+		{15, 32}, {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33},
+		{22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33},
+		{24, 25}, {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33},
+		{28, 31}, {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32},
+		{31, 33}, {32, 33},
+	}
+	g, err := anyscan.FromUnweightedEdges(34, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := anyscan.DefaultOptions()
+	opts.Mu = 3    // a core needs ≥3 similar vertices in its closed neighborhood
+	opts.Eps = 0.5 // structural similarity threshold
+
+	res, metrics, err := anyscan.Cluster(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters with %d similarity evaluations\n\n",
+		res.NumClusters, metrics.Sim.Sims)
+	for l := int32(0); l < int32(res.NumClusters); l++ {
+		fmt.Printf("cluster %d: %v\n", l, res.Members(l))
+	}
+	fmt.Println()
+	for v := 0; v < res.N(); v++ {
+		if res.Roles[v] == anyscan.RoleHub {
+			fmt.Printf("hub:     member %d connects several communities\n", v)
+		}
+		if res.Roles[v] == anyscan.RoleOutlier {
+			fmt.Printf("outlier: member %d belongs to no community\n", v)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Streaming: maintain a SCAN clustering while the graph changes — the
+// dynamic social network scenario. New friendships arrive, old ones decay
+// and disappear, and after every batch the exact clustering is available
+// without re-running a batch algorithm: each edge mutation re-evaluates only
+// the similarities around its two endpoints.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"anyscan"
+)
+
+func main() {
+	// Start from a community graph...
+	cfg := anyscan.DefaultLFR(8000, 16, 99)
+	g, _, err := anyscan.GenerateLFR(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const mu, eps = 4, 0.4
+	m, err := anyscan.NewMaintainerFromGraph(g, mu, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := m.Result()
+	fmt.Printf("t=0: %d vertices, %d edges, %d communities\n",
+		m.NumVertices(), m.NumEdges(), res.NumClusters)
+
+	// ...then stream batches of churn: 70% new ties (biased to close
+	// triangles, as real social ties are), 30% dropped ties.
+	rng := rand.New(rand.NewSource(7))
+	n := int32(m.NumVertices())
+	for batch := 1; batch <= 5; batch++ {
+		start := time.Now()
+		before := m.SimEvals
+		const batchSize = 2000
+		for i := 0; i < batchSize; i++ {
+			if rng.Float64() < 0.7 {
+				u := rng.Int31n(n)
+				if m.Degree(u) == 0 {
+					m.AddEdge(u, rng.Int31n(n), 1)
+					continue
+				}
+				// Triadic closure: connect u to a neighbor's neighbor.
+				m.AddEdge(u, n2hop(m, u, rng), 1)
+			} else {
+				u := rng.Int31n(n)
+				v := rng.Int31n(n)
+				m.RemoveEdge(u, v)
+			}
+		}
+		maintain := time.Since(start)
+
+		qStart := time.Now()
+		res = m.Result()
+		q := time.Since(qStart)
+		c := res.RoleCounts()
+		fmt.Printf("t=%d: %7d edges | %4d communities, %5d cores, %5d noise | "+
+			"%d σ re-evals, maintain %v + query %v\n",
+			batch, m.NumEdges(), res.NumClusters, c.Cores, c.Noise(),
+			m.SimEvals-before, maintain.Round(time.Millisecond), q.Round(time.Millisecond))
+	}
+
+	// Compare against clustering the final graph from scratch.
+	final, err := m.ToCSR()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := anyscan.DefaultOptions()
+	opts.Mu, opts.Eps = mu, eps
+	opts.Alpha, opts.Beta = 512, 512
+	start := time.Now()
+	batchRes, _, err := anyscan.Cluster(final, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfrom-scratch anySCAN on the final graph: %v (NMI vs maintained: %.4f)\n",
+		time.Since(start).Round(time.Millisecond), anyscan.NMI(batchRes, res))
+}
+
+// n2hop picks a random two-hop target from u (or a random vertex).
+func n2hop(m *anyscan.Maintainer, u int32, rng *rand.Rand) int32 {
+	// Walk two random steps using EdgeWeight probes on random vertices is
+	// expensive; instead sample a random neighbor index via degree walks.
+	v := walk(m, u, rng)
+	w := walk(m, v, rng)
+	if w == u || w < 0 {
+		return rng.Int31n(int32(m.NumVertices()))
+	}
+	return w
+}
+
+// walk returns a uniformly random neighbor of u (or u itself if isolated).
+func walk(m *anyscan.Maintainer, u int32, rng *rand.Rand) int32 {
+	d := m.Degree(u)
+	if d == 0 {
+		return u
+	}
+	return m.NeighborAt(u, rng.Intn(d))
+}

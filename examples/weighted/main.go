@@ -1,0 +1,76 @@
+// Weighted: structural clustering on a weighted graph (Definition 1 of the
+// paper generalizes SCAN's similarity to edge weights). We model a
+// co-interaction network where tie strength matters, cluster it at several
+// ε thresholds, and show how weights change the story relative to ignoring
+// them.
+//
+//	go run ./examples/weighted
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anyscan"
+)
+
+func main() {
+	// An LFR community graph whose intra-community ties get uniform random
+	// strengths — interactions within a community vary in intensity.
+	cfg := anyscan.DefaultLFR(12000, 24, 11)
+	cfg.Weights = anyscan.WeightConfig{Mode: anyscan.WeightUniform, Min: 0.5, Max: 1.5}
+	weighted, _, err := anyscan.GenerateLFR(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same topology with all weights forced to 1 (classic SCAN input).
+	unweighted := stripWeights(weighted)
+
+	s := anyscan.ComputeStats(weighted)
+	fmt.Printf("co-interaction network: %d vertices, %d weighted ties, d̄=%.1f\n\n",
+		s.Vertices, s.Edges, s.AvgDegree)
+
+	fmt.Println("ε sweep (μ=4): how the similarity threshold shapes the result")
+	fmt.Println("    ε   weighted-clusters  weighted-noise   unit-clusters  unit-noise   NMI(w,u)")
+	for _, eps := range []float64{0.3, 0.4, 0.5, 0.6, 0.7} {
+		opts := anyscan.DefaultOptions()
+		opts.Mu, opts.Eps = 4, eps
+
+		wres, _, err := anyscan.Cluster(weighted, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ures, _, err := anyscan.Cluster(unweighted, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wc, uc := wres.RoleCounts(), ures.RoleCounts()
+		fmt.Printf("  %.1f   %17d  %14d  %14d  %10d   %8.3f\n",
+			eps, wres.NumClusters, wc.Noise(), ures.NumClusters, uc.Noise(),
+			anyscan.NMI(wres, ures))
+	}
+
+	fmt.Println("\nwith weights, weakly-tied vertices drop below ε sooner: the")
+	fmt.Println("weighted clustering is stricter about low-intensity relationships")
+	fmt.Println("while the unweighted one sees only the topology.")
+}
+
+// stripWeights rebuilds the graph with unit weights.
+func stripWeights(g *anyscan.Graph) *anyscan.Graph {
+	var b anyscan.Builder
+	b.SetNumVertices(g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		adj, _ := g.Neighbors(v)
+		for _, q := range adj {
+			if v < q {
+				b.AddEdgeUnweighted(v, q)
+			}
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

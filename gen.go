@@ -1,0 +1,58 @@
+package anyscan
+
+import "anyscan/internal/gen"
+
+// Synthetic graph generators, re-exported for examples, tools and tests.
+// All are deterministic for a given seed.
+
+// WeightConfig selects how generated edges are weighted.
+type WeightConfig = gen.WeightConfig
+
+// Weight modes for WeightConfig.
+const (
+	WeightUnit    = gen.WeightUnit
+	WeightUniform = gen.WeightUniform
+)
+
+// LFRConfig parameterizes the LFR community benchmark generator.
+type LFRConfig = gen.LFRConfig
+
+// SocialCirclesConfig parameterizes the overlapping-circles ego-network
+// generator.
+type SocialCirclesConfig = gen.SocialCirclesConfig
+
+// DefaultLFR returns an LFR configuration with the Table II profile.
+func DefaultLFR(n int, avgDegree float64, seed int64) LFRConfig {
+	return gen.DefaultLFR(n, avgDegree, seed)
+}
+
+// GenerateLFR builds an LFR benchmark graph and its ground-truth communities.
+func GenerateLFR(cfg LFRConfig) (*Graph, []int32, error) { return gen.LFR(cfg) }
+
+// GenerateSocialCircles builds an ego-network-like graph of overlapping
+// dense circles.
+func GenerateSocialCircles(cfg SocialCirclesConfig) *Graph { return gen.SocialCircles(cfg) }
+
+// GenerateErdosRenyi builds G(n, m).
+func GenerateErdosRenyi(n int, m int64, wc WeightConfig, seed int64) *Graph {
+	return gen.ErdosRenyi(n, m, wc, seed)
+}
+
+// GenerateHolmeKim builds a power-law-cluster graph: preferential attachment
+// with triad formation probability pt controlling the clustering
+// coefficient.
+func GenerateHolmeKim(n, m int, pt float64, wc WeightConfig, seed int64) *Graph {
+	return gen.HolmeKim(n, m, pt, wc, seed)
+}
+
+// GenerateRMAT builds a recursive-matrix (Kronecker-like) graph with
+// 2^scale vertices and ~m edges.
+func GenerateRMAT(scale int, m int64, a, b, c float64, wc WeightConfig, seed int64) *Graph {
+	return gen.RMAT(scale, m, a, b, c, wc, seed)
+}
+
+// GeneratePlantedPartition builds k equal communities with intra/inter edge
+// probabilities pIn and pOut.
+func GeneratePlantedPartition(n, k int, pIn, pOut float64, wc WeightConfig, seed int64) *Graph {
+	return gen.PlantedPartition(n, k, pIn, pOut, wc, seed)
+}

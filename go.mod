@@ -1,0 +1,3 @@
+module anyscan
+
+go 1.22

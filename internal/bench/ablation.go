@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"anyscan/internal/core"
+)
+
+// RunAblation quantifies the contribution of each anySCAN design choice
+// called out in DESIGN.md: the nei-count core promotion, the Step-2/3
+// cluster-agreement pruning, the worklist sorting, the Section III-D
+// similarity optimizations, and the (extension) shared per-edge σ memo.
+// Every variant computes the identical exact clustering; only the work
+// changes.
+func RunAblation(cfg Config) error {
+	header(cfg.Out, fmt.Sprintf("Ablation: anySCAN design choices (μ=%d, ε=%.1f)", cfg.Mu, cfg.Eps))
+	variants := []struct {
+		name   string
+		mutate func(o *core.Options)
+	}{
+		{"full algorithm", func(o *core.Options) {}},
+		{"no nei promotion", func(o *core.Options) { o.Ablation.NoNeiPromotion = true }},
+		{"no step-2/3 pruning", func(o *core.Options) { o.Ablation.NoPruning = true }},
+		{"no worklist sorting", func(o *core.Options) { o.Ablation.NoSorting = true }},
+		{"no Lemma-5 prune", func(o *core.Options) { o.Sim.Lemma5 = false }},
+		{"no early exits", func(o *core.Options) { o.Sim.EarlyExit = false }},
+		{"no sim optimizations", func(o *core.Options) { o.Sim.Lemma5, o.Sim.EarlyExit = false, false }},
+		{"+ edge memo (extension)", func(o *core.Options) { o.EdgeMemo = true }},
+	}
+	for _, name := range []string{"GR01L", "GR02L", "GR03L", "GR04L"} {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "\n-- %s (|V|=%d, |E|=%d) --\n", name, g.NumVertices(), g.NumEdges())
+		tw := newTab(cfg.Out)
+		fmt.Fprintln(tw, "variant\truntime(ms)\tsims\tpruned\tmemo-hits\tunions")
+		for _, v := range variants {
+			o := cfg.anyOpts(g, 0)
+			v.mutate(&o)
+			_, m, d, err := runAnySCAN(g, o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+				v.name, ms(d), m.Sim.Sims, m.Sim.Pruned, m.Sim.Shared, m.Unions())
+		}
+		tw.Flush()
+	}
+	return nil
+}

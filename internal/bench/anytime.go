@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/core"
+	"anyscan/internal/eval"
+	"anyscan/internal/graph"
+)
+
+// tracePoint is one anytime measurement: cumulative in-algorithm time and
+// the NMI of the intermediate snapshot against the SCAN ground truth.
+type tracePoint struct {
+	Iter    int
+	Phase   core.Phase
+	Elapsed time.Duration
+	NMI     float64
+}
+
+// traceAnytime drives an anySCAN run, snapshotting every sampleEvery
+// iterations (always including the final state). Snapshot and NMI costs are
+// excluded from the reported elapsed times (the Clusterer clocks only its
+// Step calls), mirroring how the paper measures "suppress and examine".
+func traceAnytime(g *graph.CSR, o core.Options, truth *cluster.Result, sampleEvery int) ([]tracePoint, core.Metrics, error) {
+	c, err := core.New(g, o)
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	var points []tracePoint
+	iter := 0
+	for {
+		more := c.Step()
+		iter++
+		if iter%sampleEvery == 0 || !more {
+			snap := c.Snapshot()
+			points = append(points, tracePoint{
+				Iter:    iter,
+				Phase:   c.Phase(),
+				Elapsed: c.Metrics().Elapsed,
+				NMI:     eval.NMI(snap, truth),
+			})
+		}
+		if !more {
+			break
+		}
+	}
+	return points, c.Metrics(), nil
+}
+
+// RunFig5 reproduces Figure 5: for GR01L..GR04L and ε ∈ {0.5, 0.6}, the
+// cumulative runtime and NMI of anySCAN at intermediate iterations, with the
+// final runtimes of the batch algorithms as reference lines.
+func RunFig5(cfg Config) error {
+	header(cfg.Out, "Fig 5: anytime NMI and cumulative runtime vs batch algorithms (μ=5)")
+	for _, epsilon := range []float64{0.5, 0.6} {
+		for _, name := range []string{"GR01L", "GR02L", "GR03L", "GR04L"} {
+			g, err := cfg.load(name)
+			if err != nil {
+				return err
+			}
+			local := cfg
+			local.Eps = epsilon
+			truth, scanM := runBatchByName(g, "SCAN", cfg.Mu, epsilon)
+			fmt.Fprintf(cfg.Out, "\n-- %s  ε=%.1f --\n", name, epsilon)
+			tw := newTab(cfg.Out)
+			fmt.Fprintln(tw, "batch\truntime(ms)\tclusters")
+			fmt.Fprintf(tw, "SCAN\t%s\t%d\n", ms(scanM.Elapsed), truth.NumClusters)
+			for _, a := range batchAlgos()[1:] {
+				res, m := a.run(g, cfg.Mu, epsilon)
+				fmt.Fprintf(tw, "%s\t%s\t%d\n", a.name, ms(m.Elapsed), res.NumClusters)
+			}
+			tw.Flush()
+
+			points, anyM, err := traceAnytime(g, local.anyOpts(g, 0), truth, 2)
+			if err != nil {
+				return err
+			}
+			tw = newTab(cfg.Out)
+			fmt.Fprintln(tw, "anySCAN iter\tphase\tcumulative(ms)\tNMI")
+			for _, p := range points {
+				fmt.Fprintf(tw, "%d\t%s\t%s\t%.3f\n", p.Iter, p.Phase, ms(p.Elapsed), p.NMI)
+			}
+			tw.Flush()
+			nmis := make([]float64, len(points))
+			for i, p := range points {
+				nmis[i] = p.NMI
+			}
+			fmt.Fprintf(cfg.Out, "NMI over iterations: %s (0→1)\n", sparkline(nmis, 0, 1))
+			fmt.Fprintf(cfg.Out, "anySCAN final: %s ms, %d similarity evals (SCAN: %d)\n",
+				ms(anyM.Elapsed), anyM.Sim.Sims, scanM.Sim.Sims)
+		}
+	}
+	return nil
+}
+
+// RunFig8 reproduces Figure 8: the effect of ε and μ on the anytime quality
+// curve (top) and of the block sizes α=β on the final runtime (bottom), on
+// GR01L.
+func RunFig8(cfg Config) error {
+	header(cfg.Out, "Fig 8: parameter and block-size effects on anySCAN (GR01L)")
+	g, err := cfg.load("GR01L")
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(cfg.Out, "\n-- anytime NMI traces vs ε (μ=5) --")
+	for _, epsilon := range []float64{0.2, 0.4, 0.6, 0.8} {
+		local := cfg
+		local.Eps = epsilon
+		truth, _ := runBatchByName(g, "SCAN", cfg.Mu, epsilon)
+		points, _, err := traceAnytime(g, local.anyOpts(g, 0), truth, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "ε=%.1f:", epsilon)
+		for _, p := range points {
+			fmt.Fprintf(cfg.Out, "  (%sms, %.2f)", ms(p.Elapsed), p.NMI)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+
+	fmt.Fprintln(cfg.Out, "\n-- anytime NMI traces vs μ (ε=0.5) --")
+	for _, mu := range []int{2, 5, 10, 15} {
+		local := cfg
+		local.Mu = mu
+		truth, _ := runBatchByName(g, "SCAN", mu, cfg.Eps)
+		points, _, err := traceAnytime(g, local.anyOpts(g, 0), truth, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "μ=%d:", mu)
+		for _, p := range points {
+			fmt.Fprintf(cfg.Out, "  (%sms, %.2f)", ms(p.Elapsed), p.NMI)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+
+	fmt.Fprintln(cfg.Out, "\n-- final runtime (ms) vs block size α=β --")
+	blocks := []int{64, 256, 1024, 4096, 16384}
+	tw := newTab(cfg.Out)
+	fmt.Fprint(tw, "param")
+	for _, b := range blocks {
+		fmt.Fprintf(tw, "\tα=β=%d", b)
+	}
+	fmt.Fprintln(tw)
+	for _, mu := range []int{2, 5, 10} {
+		fmt.Fprintf(tw, "μ=%d ε=%.1f", mu, cfg.Eps)
+		for _, b := range blocks {
+			o := cfg.anyOpts(g, 0)
+			o.Mu = mu
+			o.Alpha, o.Beta = b, b
+			_, _, d, err := runAnySCAN(g, o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", ms(d))
+		}
+		fmt.Fprintln(tw)
+	}
+	for _, epsilon := range []float64{0.2, 0.5, 0.8} {
+		fmt.Fprintf(tw, "μ=%d ε=%.1f", cfg.Mu, epsilon)
+		for _, b := range blocks {
+			o := cfg.anyOpts(g, 0)
+			o.Eps = epsilon
+			o.Alpha, o.Beta = b, b
+			_, _, d, err := runAnySCAN(g, o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", ms(d))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// runBatchByName runs the named batch algorithm.
+func runBatchByName(g *graph.CSR, name string, mu int, eps float64) (*cluster.Result, scanMetrics) {
+	for _, a := range batchAlgos() {
+		if a.name == name {
+			res, m := a.run(g, mu, eps)
+			return res, m
+		}
+	}
+	panic("bench: unknown batch algorithm " + name)
+}

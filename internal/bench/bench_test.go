@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig runs experiments at the smallest structurally meaningful scale.
+func tinyConfig(buf *bytes.Buffer) Config {
+	cfg := DefaultConfig(buf)
+	cfg.Scale = 0.08
+	cfg.Threads = []int{1, 2}
+	cfg.Alpha, cfg.Beta = 128, 128
+	return cfg
+}
+
+func TestLookup(t *testing.T) {
+	for _, e := range Experiments() {
+		got, err := Lookup(e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Title != e.Title {
+			t.Errorf("Lookup(%q) returned wrong experiment", e.Name)
+		}
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentCoverage(t *testing.T) {
+	// Every table and figure of the evaluation section must have an
+	// experiment: Tables I-II and Figures 5-14.
+	want := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "approx", "mapreduce"}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.Name] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %s missing", w)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("unexpected experiment count %d", len(have))
+	}
+}
+
+// Each experiment must run end-to-end and produce non-trivial output.
+func TestExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	expectations := map[string][]string{
+		"table1":    {"GR01L", "GR05L", "stands in for"},
+		"table2":    {"LFR01L", "LFR15L"},
+		"fig5":      {"anySCAN iter", "NMI", "SCAN", "pSCAN"},
+		"fig6":      {"ε sweep", "μ sweep", "anySCAN"},
+		"fig7":      {"SCAN++ true", "cores", "borders"},
+		"fig8":      {"block size", "ε=0.2", "μ=2"},
+		"fig9":      {"pSCAN(ms)", "anySCAN(ms)", "ratio"},
+		"fig10":     {"threads", "speedup"},
+		"fig11":     {"ideal speedup"},
+		"fig12":     {"pSCAN unions", "Step-1 (seq)"},
+		"fig13":     {"α=β", "speedup"},
+		"fig14":     {"clustering-coefficient sweep"},
+		"ablation":  {"no nei promotion", "edge memo", "memo-hits"},
+		"approx":    {"budget ρ", "sampling NMI", "anySCAN-stop NMI"},
+		"mapreduce": {"MR rounds", "shuffled KVs", "anySCAN unions"},
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := tinyConfig(&buf)
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := buf.String()
+			if len(out) < 100 {
+				t.Fatalf("%s produced almost no output:\n%s", e.Name, out)
+			}
+			for _, want := range expectations[e.Name] {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", e.Name, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"anyscan/internal/mapreduce"
+	"anyscan/internal/scan"
+)
+
+// RunMapReduce quantifies the paper's Section V argument that transplanting
+// the distributed PSCAN (Zhao et al., AINA 2013) onto a shared-memory
+// machine is inefficient: the MapReduce formulation pays one shuffled
+// message per similar edge per label-propagation round plus a global
+// barrier per round, while anySCAN synchronizes with a handful of Union
+// operations and pSCAN with none at all.
+func RunMapReduce(cfg Config) error {
+	header(cfg.Out, fmt.Sprintf("MapReduce PSCAN vs shared-memory algorithms (μ=%d, ε=%.1f)", cfg.Mu, cfg.Eps))
+	tw := newTab(cfg.Out)
+	fmt.Fprintln(tw, "dataset\tMR rounds\tMR shuffled KVs\tMR(ms)\tpSCAN(ms)\tanySCAN(ms)\tanySCAN unions")
+	for _, name := range []string{"GR01L", "GR02L", "GR03L", "GR04L"} {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		resMR, stats, dMR := mapreduce.PSCANMR(g, cfg.Mu, cfg.Eps, 0)
+		_, mP := scan.PSCAN(g, cfg.Mu, cfg.Eps)
+		resAny, mAny, dAny, err := runAnySCAN(g, cfg.anyOpts(g, 0))
+		if err != nil {
+			return err
+		}
+		if resMR.NumClusters != resAny.NumClusters {
+			fmt.Fprintf(cfg.Out, "WARNING: %s cluster count mismatch (MR %d vs anySCAN %d)\n",
+				name, resMR.NumClusters, resAny.NumClusters)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%d\n",
+			name, stats.Rounds, stats.ShuffledKVs, ms(dMR), ms(mP.Elapsed), ms(dAny), mAny.Unions())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "(every shuffled KV is cross-worker traffic; every round a global barrier)")
+	return nil
+}

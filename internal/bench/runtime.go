@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"anyscan/internal/datasets"
+	"anyscan/internal/scan"
+)
+
+// scanMetrics aliases the batch metrics type for the helpers in this package.
+type scanMetrics = scan.Metrics
+
+// RunFig6 reproduces Figure 6: final cumulative runtimes of every algorithm
+// across ε (top) and μ (bottom) sweeps on all five real-graph stand-ins.
+func RunFig6(cfg Config) error {
+	header(cfg.Out, "Fig 6: final runtimes (ms) vs parameters")
+	epsSweep := []float64{0.2, 0.35, 0.5, 0.65, 0.8}
+	muSweep := []int{2, 5, 10, 15}
+
+	for _, name := range datasets.RealNames() {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "\n-- %s: ε sweep (μ=%d) --\n", name, cfg.Mu)
+		tw := newTab(cfg.Out)
+		fmt.Fprint(tw, "algorithm")
+		for _, e := range epsSweep {
+			fmt.Fprintf(tw, "\tε=%.2f", e)
+		}
+		fmt.Fprintln(tw)
+		for _, a := range batchAlgos() {
+			fmt.Fprint(tw, a.name)
+			for _, e := range epsSweep {
+				_, m := a.run(g, cfg.Mu, e)
+				fmt.Fprintf(tw, "\t%s", ms(m.Elapsed))
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprint(tw, "anySCAN")
+		for _, e := range epsSweep {
+			o := cfg.anyOpts(g, 0)
+			o.Eps = e
+			_, _, d, err := runAnySCAN(g, o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", ms(d))
+		}
+		fmt.Fprintln(tw)
+		tw.Flush()
+
+		fmt.Fprintf(cfg.Out, "\n-- %s: μ sweep (ε=%.1f) --\n", name, cfg.Eps)
+		tw = newTab(cfg.Out)
+		fmt.Fprint(tw, "algorithm")
+		for _, mu := range muSweep {
+			fmt.Fprintf(tw, "\tμ=%d", mu)
+		}
+		fmt.Fprintln(tw)
+		for _, a := range batchAlgos() {
+			fmt.Fprint(tw, a.name)
+			for _, mu := range muSweep {
+				_, m := a.run(g, mu, cfg.Eps)
+				fmt.Fprintf(tw, "\t%s", ms(m.Elapsed))
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprint(tw, "anySCAN")
+		for _, mu := range muSweep {
+			o := cfg.anyOpts(g, 0)
+			o.Mu = mu
+			_, _, d, err := runAnySCAN(g, o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", ms(d))
+		}
+		fmt.Fprintln(tw)
+		tw.Flush()
+	}
+	return nil
+}
+
+// RunFig7 reproduces Figure 7: (left) the number of structural similarity
+// evaluations per algorithm, with SCAN++'s split into true evaluations and
+// similarity-sharing lookups; (right) the number of core, border and noise
+// (hub/outlier) vertices per dataset.
+func RunFig7(cfg Config) error {
+	header(cfg.Out, fmt.Sprintf("Fig 7: similarity evaluations and vertex roles (μ=%d, ε=%.1f)", cfg.Mu, cfg.Eps))
+	tw := newTab(cfg.Out)
+	fmt.Fprintln(tw, "dataset\tSCAN\tSCAN-B (+pruned)\tSCAN++ true\tSCAN++ shared\tpSCAN (+pruned)\tanySCAN (+pruned)")
+	for _, name := range datasets.RealNames() {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		_, mScan := scan.SCAN(g, cfg.Mu, cfg.Eps)
+		_, mScanB := scan.SCANB(g, cfg.Mu, cfg.Eps)
+		_, mSpp := scan.SCANPP(g, cfg.Mu, cfg.Eps)
+		_, mPscan := scan.PSCAN(g, cfg.Mu, cfg.Eps)
+		_, mAny, _, err := runAnySCAN(g, cfg.anyOpts(g, 0))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d (+%d)\t%d\t%d\t%d (+%d)\t%d (+%d)\n",
+			name,
+			mScan.Sim.Sims,
+			mScanB.Sim.Sims, mScanB.Sim.Pruned,
+			mSpp.Sim.Sims, mSpp.Sim.Shared,
+			mPscan.Sim.Sims, mPscan.Sim.Pruned,
+			mAny.Sim.Sims, mAny.Sim.Pruned)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(cfg.Out, "\n-- vertex roles (from the exact clustering) --")
+	tw = newTab(cfg.Out)
+	fmt.Fprintln(tw, "dataset\tcores\tborders\thubs\toutliers\tclusters")
+	for _, name := range datasets.RealNames() {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		res, _ := scan.SCAN(g, cfg.Mu, cfg.Eps)
+		c := res.RoleCounts()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n", name, c.Cores, c.Borders, c.Hubs, c.Outliers, res.NumClusters)
+	}
+	return tw.Flush()
+}
+
+// RunFig9 reproduces Figure 9: final runtimes of pSCAN and anySCAN on the
+// LFR degree sweep (left) and clustering-coefficient sweep (right).
+func RunFig9(cfg Config) error {
+	header(cfg.Out, fmt.Sprintf("Fig 9: pSCAN vs anySCAN on synthetic graphs (μ=%d, ε=%.1f)", cfg.Mu, cfg.Eps))
+	for _, sweep := range []struct {
+		title string
+		names []string
+	}{
+		{"average-degree sweep", datasets.LFRDegreeNames()},
+		{"clustering-coefficient sweep", datasets.LFRCCNames()},
+	} {
+		fmt.Fprintf(cfg.Out, "\n-- %s --\n", sweep.title)
+		tw := newTab(cfg.Out)
+		fmt.Fprintln(tw, "dataset\td̄\tc\tpSCAN(ms)\tanySCAN(ms)\tratio")
+		for _, name := range sweep.names {
+			g, err := cfg.load(name)
+			if err != nil {
+				return err
+			}
+			d := float64(g.NumArcs()) / float64(g.NumVertices())
+			cc := approxCC(g)
+			_, mP := scan.PSCAN(g, cfg.Mu, cfg.Eps)
+			_, _, dAny, err := runAnySCAN(g, cfg.anyOpts(g, 0))
+			if err != nil {
+				return err
+			}
+			ratio := float64(mP.Elapsed) / float64(dAny)
+			fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%s\t%s\t%.2f\n", name, d, cc, ms(mP.Elapsed), ms(dAny), ratio)
+		}
+		tw.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"anyscan/internal/core"
+	"anyscan/internal/datasets"
+	"anyscan/internal/graph"
+	"anyscan/internal/scan"
+)
+
+// finalRuntime runs anySCAN with the given thread count and returns the wall
+// time (median of runs repetitions).
+func (cfg Config) finalRuntime(g *graph.CSR, threads, mu int, eps float64, alpha, beta int) (time.Duration, error) {
+	o := cfg.anyOpts(g, threads)
+	o.Mu, o.Eps = mu, eps
+	if alpha > 0 {
+		o.Alpha, o.Beta = alpha, beta
+	}
+	_, _, d, err := runAnySCAN(g, o)
+	return d, err
+}
+
+// RunFig10 reproduces Figure 10: cumulative per-iteration runtimes of
+// anySCAN under different thread counts (left) and the final speedup over
+// the single-thread run (right), for GR01L..GR04L.
+//
+// On a single-core container the wall-clock speedups plateau at ~1×; the
+// parallel structure (blocks, barriers, atomic counts) is still exercised.
+func RunFig10(cfg Config) error {
+	header(cfg.Out, "Fig 10: anytime cumulative runtimes and final speedups per thread count")
+	for _, name := range []string{"GR01L", "GR02L", "GR03L", "GR04L"} {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "\n-- %s --\n", name)
+		tw := newTab(cfg.Out)
+		fmt.Fprintln(tw, "threads\tfinal(ms)\tspeedup\timbalance\tper-iteration cumulative (ms)")
+		var base time.Duration
+		for _, t := range sortedCopy(cfg.Threads) {
+			o := cfg.anyOpts(g, t)
+			points, m, err := traceAnytimeNoNMI(g, o, 4)
+			if err != nil {
+				return err
+			}
+			if t == 1 || base == 0 {
+				base = m.Elapsed
+			}
+			speedup := float64(base) / float64(m.Elapsed)
+			fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t", t, ms(m.Elapsed), speedup, m.LoadImbalance())
+			for _, p := range points {
+				fmt.Fprintf(tw, "%s ", ms(p.Elapsed))
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// traceAnytimeNoNMI drives a run sampling only cumulative times.
+func traceAnytimeNoNMI(g *graph.CSR, o core.Options, sampleEvery int) ([]tracePoint, core.Metrics, error) {
+	c, err := core.New(g, o)
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	var points []tracePoint
+	iter := 0
+	for {
+		more := c.Step()
+		iter++
+		if iter%sampleEvery == 0 || !more {
+			points = append(points, tracePoint{Iter: iter, Phase: c.Phase(), Elapsed: c.Metrics().Elapsed})
+		}
+		if !more {
+			break
+		}
+	}
+	return points, c.Metrics(), nil
+}
+
+// RunFig11 reproduces Figure 11: anySCAN's speedup per thread count next to
+// the "ideal" parallel algorithm (all-edge similarity evaluation with no
+// synchronization), the upper bound for any parallel SCAN.
+func RunFig11(cfg Config) error {
+	header(cfg.Out, "Fig 11: anySCAN vs ideal parallel algorithm speedups")
+	for _, name := range []string{"GR01L", "GR02L", "GR03L", "GR04L"} {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "\n-- %s --\n", name)
+		tw := newTab(cfg.Out)
+		fmt.Fprintln(tw, "threads\tanySCAN(ms)\tanySCAN speedup\tideal(ms)\tideal speedup\tnaive-parallel-SCAN(ms)")
+		var baseAny, baseIdeal time.Duration
+		for _, t := range sortedCopy(cfg.Threads) {
+			dAny, err := cfg.finalRuntime(g, t, cfg.Mu, cfg.Eps, 0, 0)
+			if err != nil {
+				return err
+			}
+			mIdeal := scan.Ideal(g, cfg.Eps, t)
+			_, mNaive := scan.ParallelSCAN(g, cfg.Mu, cfg.Eps, t)
+			if baseAny == 0 {
+				baseAny, baseIdeal = dAny, mIdeal.Elapsed
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%.2f\t%s\t%.2f\t%s\n", t,
+				ms(dAny), float64(baseAny)/float64(dAny),
+				ms(mIdeal.Elapsed), float64(baseIdeal)/float64(mIdeal.Elapsed),
+				ms(mNaive.Elapsed))
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// RunFig12 reproduces Figure 12: the number of Union operations performed by
+// anySCAN (split into the sequential Step-1 part and the critical-section
+// Step-2/3 part) compared with pSCAN and with |V|.
+func RunFig12(cfg Config) error {
+	header(cfg.Out, fmt.Sprintf("Fig 12: Union operation counts (μ=%d, ε=%.1f)", cfg.Mu, cfg.Eps))
+	tw := newTab(cfg.Out)
+	fmt.Fprintln(tw, "dataset\t|V|\tpSCAN unions\tanySCAN unions\t… Step-1 (seq)\t… Step-2/3 (critical)\tsuper-nodes")
+	for _, name := range []string{"GR01L", "GR02L", "GR03L", "GR04L"} {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		_, mP := scan.PSCAN(g, cfg.Mu, cfg.Eps)
+		_, mAny, _, err := runAnySCAN(g, cfg.anyOpts(g, 0))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			name, g.NumVertices(), mP.Unions,
+			mAny.Unions(), mAny.UnionsSeq, mAny.UnionsStep23, mAny.SuperNodes)
+	}
+	return tw.Flush()
+}
+
+// RunFig13 reproduces Figure 13: the scalability of anySCAN (speedup at the
+// highest configured thread count over one thread) as μ, ε and the block
+// sizes vary, on GR01L.
+func RunFig13(cfg Config) error {
+	threads := sortedCopy(cfg.Threads)
+	hi := threads[len(threads)-1]
+	header(cfg.Out, fmt.Sprintf("Fig 13: scalability (speedup of %d threads over 1) on GR01L", hi))
+	g, err := cfg.load("GR01L")
+	if err != nil {
+		return err
+	}
+
+	tw := newTab(cfg.Out)
+	fmt.Fprintln(tw, "sweep\tsetting\t1-thread(ms)\tN-thread(ms)\tspeedup")
+	for _, mu := range []int{2, 5, 10, 15} {
+		d1, err := cfg.finalRuntime(g, 1, mu, cfg.Eps, 0, 0)
+		if err != nil {
+			return err
+		}
+		dn, err := cfg.finalRuntime(g, hi, mu, cfg.Eps, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "μ\t%d\t%s\t%s\t%.2f\n", mu, ms(d1), ms(dn), float64(d1)/float64(dn))
+	}
+	for _, e := range []float64{0.2, 0.5, 0.8} {
+		d1, err := cfg.finalRuntime(g, 1, cfg.Mu, e, 0, 0)
+		if err != nil {
+			return err
+		}
+		dn, err := cfg.finalRuntime(g, hi, cfg.Mu, e, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "ε\t%.1f\t%s\t%s\t%.2f\n", e, ms(d1), ms(dn), float64(d1)/float64(dn))
+	}
+	for _, b := range []int{64, 256, 1024, 4096, 16384} {
+		d1, err := cfg.finalRuntime(g, 1, cfg.Mu, cfg.Eps, b, b)
+		if err != nil {
+			return err
+		}
+		dn, err := cfg.finalRuntime(g, hi, cfg.Mu, cfg.Eps, b, b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "α=β\t%d\t%s\t%s\t%.2f\n", b, ms(d1), ms(dn), float64(d1)/float64(dn))
+	}
+	return tw.Flush()
+}
+
+// RunFig14 reproduces Figure 14: anySCAN's scalability on the LFR degree and
+// clustering-coefficient sweeps.
+func RunFig14(cfg Config) error {
+	threads := sortedCopy(cfg.Threads)
+	hi := threads[len(threads)-1]
+	header(cfg.Out, fmt.Sprintf("Fig 14: scalability (speedup of %d threads over 1) on synthetic graphs", hi))
+	for _, sweep := range []struct {
+		title string
+		names []string
+	}{
+		{"average-degree sweep", datasets.LFRDegreeNames()},
+		{"clustering-coefficient sweep", datasets.LFRCCNames()},
+	} {
+		fmt.Fprintf(cfg.Out, "\n-- %s --\n", sweep.title)
+		tw := newTab(cfg.Out)
+		fmt.Fprintln(tw, "dataset\t1-thread(ms)\tN-thread(ms)\tspeedup")
+		for _, name := range sweep.names {
+			g, err := cfg.load(name)
+			if err != nil {
+				return err
+			}
+			d1, err := cfg.finalRuntime(g, 1, cfg.Mu, cfg.Eps, 0, 0)
+			if err != nil {
+				return err
+			}
+			dn, err := cfg.finalRuntime(g, hi, cfg.Mu, cfg.Eps, 0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\n", name, ms(d1), ms(dn), float64(d1)/float64(dn))
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// approxCC estimates the average clustering coefficient for report rows.
+func approxCC(g *graph.CSR) float64 {
+	return graph.ApproxAvgCC(g, 2000, 99)
+}

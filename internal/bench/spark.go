@@ -1,0 +1,30 @@
+package bench
+
+import "strings"
+
+// sparkRunes render a value series as a compact terminal sparkline, used to
+// make the anytime quality curves (Fig 5/8) legible in text reports.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values scaled into [lo, hi].
+func sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		idx := int(f * float64(len(sparkRunes)-1))
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteAssignments writes the clustering as "vertex cluster role" lines
+// (cluster -1 = noise), a format ReadAssignments parses back. Stable and
+// diff-friendly for storing clustering outputs next to their graphs.
+func WriteAssignments(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# anyscan clustering: %d vertices, %d clusters\n", r.N(), r.NumClusters)
+	fmt.Fprintln(bw, "# vertex cluster role")
+	for v := 0; v < r.N(); v++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", v, r.Labels[v], r.Roles[v]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAssignments parses a clustering written by WriteAssignments.
+func ReadAssignments(rd io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	type row struct {
+		v, l int
+		role Role
+	}
+	var rows []row
+	maxV := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("cluster: line %d: want 'vertex cluster role', got %q", lineNo, line)
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("cluster: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		l, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: line %d: bad cluster %q", lineNo, fields[1])
+		}
+		role, err := parseRole(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: line %d: %w", lineNo, err)
+		}
+		rows = append(rows, row{v, l, role})
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	res := NewResult(maxV + 1)
+	for _, r := range rows {
+		res.Labels[r.v] = int32(r.l)
+		res.Roles[r.v] = r.role
+	}
+	res.Canonicalize()
+	return res, nil
+}
+
+func parseRole(s string) (Role, error) {
+	switch s {
+	case "core":
+		return Core, nil
+	case "border":
+		return Border, nil
+	case "hub":
+		return Hub, nil
+	case "outlier":
+		return Outlier, nil
+	case "unclassified":
+		return Unclassified, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown role %q", s)
+}

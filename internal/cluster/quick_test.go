@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anyscan/internal/graph"
+)
+
+// randomResult builds an arbitrary (not necessarily SCAN-valid) result for
+// structural property testing.
+func randomResult(rng *rand.Rand, n int) *Result {
+	r := NewResult(n)
+	k := rng.Intn(5) + 1
+	for v := 0; v < n; v++ {
+		switch rng.Intn(4) {
+		case 0:
+			r.Roles[v] = Core
+			r.Labels[v] = int32(rng.Intn(k) * 7) // sparse labels
+		case 1:
+			r.Roles[v] = Border
+			r.Labels[v] = int32(rng.Intn(k) * 7)
+		case 2:
+			r.Roles[v] = Hub
+		default:
+			r.Roles[v] = Outlier
+		}
+	}
+	return r
+}
+
+// Property: Canonicalize is idempotent and preserves co-membership.
+func TestCanonicalizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		r := randomResult(rng, n)
+		orig := append([]int32(nil), r.Labels...)
+		r.Canonicalize()
+		once := append([]int32(nil), r.Labels...)
+		r.Canonicalize()
+		// Idempotence.
+		for v := range once {
+			if r.Labels[v] != once[v] {
+				return false
+			}
+		}
+		// Labels dense in [0, NumClusters).
+		for _, l := range r.Labels {
+			if l != NoLabel && (l < 0 || int(l) >= r.NumClusters) {
+				return false
+			}
+		}
+		// Co-membership preserved.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if orig[i] == NoLabel || orig[j] == NoLabel {
+					continue
+				}
+				if (orig[i] == orig[j]) != (once[i] == once[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: role counts sum to N and cluster sizes sum to the number of
+// labeled vertices.
+func TestCountsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80) + 1
+		r := randomResult(rng, n)
+		r.Canonicalize()
+		c := r.RoleCounts()
+		if c.Cores+c.Borders+c.Hubs+c.Outliers+c.Unclassified != n {
+			return false
+		}
+		labeled := 0
+		for _, l := range r.Labels {
+			if l != NoLabel {
+				labeled++
+			}
+		}
+		total := 0
+		for _, s := range r.ClusterSizes() {
+			total += s
+		}
+		return total == labeled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reference clustering always validates against itself, for
+// arbitrary random graphs and parameters.
+func TestReferenceAlwaysSelfValid(t *testing.T) {
+	f := func(seed int64, muRaw uint8, epsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 5
+		var b graph.Builder
+		b.SetNumVertices(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), 0.5+rng.Float32())
+		}
+		g := b.MustBuild()
+		mu := int(muRaw)%6 + 1
+		eps := 0.1 + float64(epsRaw%80)/100
+		res := Reference(g, mu, eps)
+		return Validate(g, mu, eps, res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equivalent is reflexive and symmetric on SCAN-valid results.
+func TestEquivalentRelationProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 5
+		var b graph.Builder
+		b.SetNumVertices(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), 1)
+		}
+		g := b.MustBuild()
+		a := Reference(g, 3, 0.5)
+		bb := Reference(g, 3, 0.5)
+		if Equivalent(a, a) != nil {
+			return false
+		}
+		return (Equivalent(a, bb) == nil) == (Equivalent(bb, a) == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package cluster defines the shared result model for structural graph
+// clustering (Definitions 2–5 of the paper): vertex roles, cluster labels,
+// a literal reference implementation of the definitions, result validation,
+// and the equivalence notion under which all exact algorithms in this
+// repository must agree (identical cores and core partition; borders
+// attached to any one qualifying cluster; noise identical).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Role classifies a vertex per Definition 3 plus SCAN's hub/outlier
+// refinement of noise vertices.
+type Role int8
+
+// Roles. Outlier and Hub are the two flavors of noise; Unclassified appears
+// only in intermediate anytime snapshots for vertices not yet touched.
+const (
+	Unclassified Role = iota
+	Outlier
+	Hub
+	Border
+	Core
+)
+
+// NoLabel marks vertices outside every cluster.
+const NoLabel int32 = -1
+
+func (r Role) String() string {
+	switch r {
+	case Unclassified:
+		return "unclassified"
+	case Outlier:
+		return "outlier"
+	case Hub:
+		return "hub"
+	case Border:
+		return "border"
+	case Core:
+		return "core"
+	}
+	return fmt.Sprintf("Role(%d)", int8(r))
+}
+
+// IsNoise reports whether the role is a noise flavor (hub or outlier).
+func (r Role) IsNoise() bool { return r == Hub || r == Outlier }
+
+// Result is a clustering of a graph's vertices.
+type Result struct {
+	// Roles[v] is the structural role of vertex v.
+	Roles []Role
+	// Labels[v] is the dense cluster id of v, or NoLabel for noise and
+	// unclassified vertices.
+	Labels []int32
+	// NumClusters is the number of distinct non-noise clusters.
+	NumClusters int
+}
+
+// NewResult returns an all-unclassified result for n vertices.
+func NewResult(n int) *Result {
+	r := &Result{
+		Roles:  make([]Role, n),
+		Labels: make([]int32, n),
+	}
+	for i := range r.Labels {
+		r.Labels[i] = NoLabel
+	}
+	return r
+}
+
+// N returns the number of vertices.
+func (r *Result) N() int { return len(r.Roles) }
+
+// Counts tallies roles; used for the right panel of Fig. 7.
+type Counts struct {
+	Cores, Borders, Hubs, Outliers, Unclassified int
+}
+
+// Noise returns hubs + outliers.
+func (c Counts) Noise() int { return c.Hubs + c.Outliers }
+
+// RoleCounts returns the role tally.
+func (r *Result) RoleCounts() Counts {
+	var c Counts
+	for _, role := range r.Roles {
+		switch role {
+		case Core:
+			c.Cores++
+		case Border:
+			c.Borders++
+		case Hub:
+			c.Hubs++
+		case Outlier:
+			c.Outliers++
+		default:
+			c.Unclassified++
+		}
+	}
+	return c
+}
+
+// Canonicalize renumbers cluster labels densely in order of each cluster's
+// smallest member vertex, making results from different algorithms directly
+// comparable. It also recomputes NumClusters.
+func (r *Result) Canonicalize() {
+	remap := make(map[int32]int32)
+	order := make([]int32, 0)
+	for v, l := range r.Labels {
+		if l == NoLabel {
+			continue
+		}
+		if _, ok := remap[l]; !ok {
+			remap[l] = int32(v) // provisional: smallest member id
+			order = append(order, l)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return remap[order[i]] < remap[order[j]] })
+	dense := make(map[int32]int32, len(order))
+	for i, l := range order {
+		dense[l] = int32(i)
+	}
+	for v, l := range r.Labels {
+		if l != NoLabel {
+			r.Labels[v] = dense[l]
+		}
+	}
+	r.NumClusters = len(order)
+}
+
+// ClusterSizes returns the size of each cluster (index = canonical label).
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l != NoLabel && int(l) < len(sizes) {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// Members returns the vertices of cluster l in ascending order.
+func (r *Result) Members(l int32) []int32 {
+	var out []int32
+	for v, lab := range r.Labels {
+		if lab == l {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/testutil"
+)
+
+// Every ablation knob and the EdgeMemo extension must preserve exactness.
+func TestAblationsPreserveResult(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(o *Options)
+	}{
+		{"full", func(o *Options) {}},
+		{"no-nei-promotion", func(o *Options) { o.Ablation.NoNeiPromotion = true }},
+		{"no-pruning", func(o *Options) { o.Ablation.NoPruning = true }},
+		{"no-sorting", func(o *Options) { o.Ablation.NoSorting = true }},
+		{"edge-memo", func(o *Options) { o.EdgeMemo = true }},
+		{"everything-off-memo-on", func(o *Options) {
+			o.Ablation = Ablation{NoNeiPromotion: true, NoPruning: true, NoSorting: true}
+			o.EdgeMemo = true
+		}},
+	}
+	count := 1
+	for _, tc := range testutil.RandomCases(count) {
+		for _, threads := range []int{1, 4} {
+			for _, v := range variants {
+				o := opts(tc.Mu, tc.Eps, threads, 64, 64)
+				o.ResolveRoles = true
+				v.mutate(&o)
+				res, _, err := Cluster(tc.G, o)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", tc.Name, v.name, err)
+				}
+				if err := cluster.Validate(tc.G, tc.Mu, tc.Eps, res); err != nil {
+					t.Fatalf("%s/%s threads=%d: %v", tc.Name, v.name, threads, err)
+				}
+			}
+		}
+	}
+}
+
+// The memo must reduce (never increase) the number of full evaluations.
+func TestEdgeMemoReducesWork(t *testing.T) {
+	tc := testutil.RandomCases(1)[0] // sparse ER: plenty of noise recompute
+	base := opts(tc.Mu, tc.Eps, 1, 64, 64)
+	_, m1, err := Cluster(tc.G, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMemo := base
+	withMemo.EdgeMemo = true
+	_, m2, err := Cluster(tc.G, withMemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Sim.Sims > m1.Sim.Sims {
+		t.Errorf("memo increased evaluations: %d → %d", m1.Sim.Sims, m2.Sim.Sims)
+	}
+	if m2.Sim.Shared == 0 {
+		t.Errorf("memo recorded no hits")
+	}
+	// With the memo, every undirected edge is evaluated at most once.
+	if max := tc.G.NumEdges(); m2.Sim.Sims > max {
+		t.Errorf("memoized evaluations %d exceed |E|=%d", m2.Sim.Sims, max)
+	}
+}
+
+// Ablating nei promotion must push more core checks into Steps 2-4 but keep
+// the final similarity work bounded by SCAN's.
+func TestNoNeiPromotionStillBounded(t *testing.T) {
+	tc := testutil.RandomCases(1)[3] // planted partition: many promotions
+	o := opts(tc.Mu, tc.Eps, 1, 64, 64)
+	o.Ablation.NoNeiPromotion = true
+	_, m, err := Cluster(tc.G, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work := m.Sim.Sims + m.Sim.Pruned; work > tc.G.NumArcs()*3/2 {
+		t.Errorf("work without promotions exploded: %d vs 2|E|=%d", work, tc.G.NumArcs())
+	}
+}

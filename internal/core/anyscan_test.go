@@ -1,0 +1,453 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/eval"
+	"anyscan/internal/graph"
+	"anyscan/internal/simeval"
+	"anyscan/internal/testutil"
+)
+
+func opts(mu int, eps float64, threads, alpha, beta int) Options {
+	o := DefaultOptions()
+	o.Mu, o.Eps, o.Threads, o.Alpha, o.Beta = mu, eps, threads, alpha, beta
+	return o
+}
+
+func mustCluster(t *testing.T, g *graph.CSR, o Options) (*cluster.Result, Metrics) {
+	t.Helper()
+	res, m, err := Cluster(g, o)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	return res, m
+}
+
+func TestAnySCANMatchesReferenceOnFixtures(t *testing.T) {
+	configs := []struct {
+		name         string
+		threads      int
+		alpha, beta  int
+		resolveRoles bool
+	}{
+		{"seq-small-blocks", 1, 4, 4, true},
+		{"seq-big-blocks", 1, 1024, 1024, true},
+		{"par2", 2, 16, 16, true},
+		{"par4-tiny-blocks", 4, 2, 2, true},
+		{"par8", 8, 64, 64, true},
+	}
+	fixtures := []struct {
+		name string
+		g    *graph.CSR
+		mu   int
+		eps  float64
+	}{
+		{"two-triangles", testutil.TwoTriangles(), 3, 0.6},
+		{"karate-mu2", testutil.Karate(), 2, 0.5},
+		{"karate-mu3", testutil.Karate(), 3, 0.6},
+		{"karate-mu5", testutil.Karate(), 5, 0.4},
+	}
+	for _, f := range fixtures {
+		for _, cfg := range configs {
+			t.Run(f.name+"/"+cfg.name, func(t *testing.T) {
+				o := opts(f.mu, f.eps, cfg.threads, cfg.alpha, cfg.beta)
+				o.ResolveRoles = cfg.resolveRoles
+				res, _ := mustCluster(t, f.g, o)
+				if err := cluster.Validate(f.g, f.mu, f.eps, res); err != nil {
+					t.Fatalf("invalid: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestAnySCANMatchesReferenceOnRandomGraphs(t *testing.T) {
+	count := 2
+	if testing.Short() {
+		count = 1
+	}
+	for _, tc := range testutil.RandomCases(count) {
+		for _, threads := range []int{1, 4} {
+			for _, block := range []int{7, 128, 100000} {
+				o := opts(tc.Mu, tc.Eps, threads, block, block)
+				o.ResolveRoles = true
+				res, _, err := Cluster(tc.G, o)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.Name, err)
+				}
+				if err := cluster.Validate(tc.G, tc.Mu, tc.Eps, res); err != nil {
+					t.Fatalf("%s threads=%d block=%d: %v", tc.Name, threads, block, err)
+				}
+			}
+		}
+	}
+}
+
+// Without ResolveRoles the labels and noise set must still be exact; only
+// the core/border split of clustered vertices may be coarser than SCAN's.
+func TestAnySCANMembershipExactWithoutRoleResolution(t *testing.T) {
+	for _, tc := range testutil.RandomCases(1) {
+		o := opts(tc.Mu, tc.Eps, 1, 64, 64)
+		res, _, err := Cluster(tc.G, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cluster.Reference(tc.G, tc.Mu, tc.Eps)
+		for v := 0; v < res.N(); v++ {
+			if want.Roles[v].IsNoise() != res.Roles[v].IsNoise() {
+				t.Fatalf("%s: vertex %d noise mismatch (ref %v, got %v)", tc.Name, v, want.Roles[v], res.Roles[v])
+			}
+			if res.Roles[v] == cluster.Core && want.Roles[v] != cluster.Core {
+				t.Fatalf("%s: vertex %d claimed core but is %v", tc.Name, v, want.Roles[v])
+			}
+		}
+		// The partition restricted to true cores must match the reference.
+		seen := map[int32]int32{}
+		rev := map[int32]int32{}
+		for v := 0; v < res.N(); v++ {
+			if want.Roles[v] != cluster.Core {
+				continue
+			}
+			wl, gl := want.Labels[v], res.Labels[v]
+			if gl == cluster.NoLabel {
+				t.Fatalf("%s: true core %d unlabeled", tc.Name, v)
+			}
+			if prev, ok := seen[wl]; ok && prev != gl {
+				t.Fatalf("%s: reference cluster %d split", tc.Name, wl)
+			}
+			if prev, ok := rev[gl]; ok && prev != wl {
+				t.Fatalf("%s: reference clusters merged into %d", tc.Name, gl)
+			}
+			seen[wl] = gl
+			rev[gl] = wl
+		}
+	}
+}
+
+func TestAnySCANDeterministicAcrossThreadCounts(t *testing.T) {
+	tc := testutil.RandomCases(1)[3] // planted partition
+	var base *cluster.Result
+	for _, threads := range []int{1, 2, 4, 8} {
+		res, _ := mustCluster(t, tc.G, opts(tc.Mu, tc.Eps, threads, 32, 32))
+		if base == nil {
+			base = res
+			continue
+		}
+		for v := 0; v < res.N(); v++ {
+			if base.Labels[v] != res.Labels[v] || base.Roles[v] != res.Roles[v] {
+				t.Fatalf("threads=%d: vertex %d differs (label %d/%d role %v/%v)",
+					threads, v, base.Labels[v], res.Labels[v], base.Roles[v], res.Roles[v])
+			}
+		}
+	}
+}
+
+func TestAnytimeSnapshotsConvergeToFinal(t *testing.T) {
+	g := testutil.Karate()
+	o := opts(3, 0.5, 2, 8, 8)
+	c, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.Reference(g, 3, 0.5)
+	final, _ := mustCluster(t, g, o)
+	prevNMI := -1.0
+	iters := 0
+	for c.Step() {
+		iters++
+		snap := c.Snapshot()
+		if snap.N() != g.NumVertices() {
+			t.Fatalf("snapshot size wrong")
+		}
+		_ = prevNMI // NMI need not be monotone per-iteration; just track it
+		prevNMI = eval.NMI(snap, want)
+	}
+	if iters < 3 {
+		t.Fatalf("expected multiple anytime iterations, got %d", iters)
+	}
+	last := c.Snapshot()
+	if got := eval.NMI(last, want); got < 0.9999 {
+		t.Fatalf("final snapshot NMI vs reference = %v, want ~1", got)
+	}
+	if err := cluster.Equivalent(final, last); err != nil {
+		t.Fatalf("final snapshot differs from batch run: %v", err)
+	}
+	if c.Step() {
+		t.Fatalf("Step after done should return false")
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	g := testutil.Karate()
+	c, err := New(g, opts(3, 0.5, 1, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := c.Run(ctx)
+	if err == nil {
+		t.Fatalf("want context error")
+	}
+	if res == nil {
+		t.Fatalf("want partial snapshot on cancel")
+	}
+	// Resume to completion.
+	res2, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := cluster.Validate(g, 3, 0.5, res2); err == nil {
+		// roles may be unresolved; just check membership via reference NMI
+	}
+	want := cluster.Reference(g, 3, 0.5)
+	if nmi := eval.NMI(res2, want); nmi < 0.9999 {
+		t.Fatalf("resumed run NMI = %v", nmi)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := testutil.Karate()
+	bad := []Options{
+		{Mu: 0, Eps: 0.5, Alpha: 1, Beta: 1},
+		{Mu: 2, Eps: 0, Alpha: 1, Beta: 1},
+		{Mu: 2, Eps: 1.5, Alpha: 1, Beta: 1},
+		{Mu: 2, Eps: 0.5, Alpha: 0, Beta: 1},
+		{Mu: 2, Eps: 0.5, Alpha: 1, Beta: 0},
+		{Mu: 2, Eps: 0.5, Alpha: 1, Beta: 1, Threads: -1},
+	}
+	for i, o := range bad {
+		if _, err := New(g, o); err == nil {
+			t.Errorf("case %d: want error for %+v", i, o)
+		}
+	}
+	if _, err := New(g, DefaultOptions()); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	g := testutil.Karate()
+	_, m := mustCluster(t, g, opts(3, 0.5, 1, 8, 8))
+	if m.Sim.Sims == 0 {
+		t.Errorf("no sims recorded")
+	}
+	if m.SuperNodes == 0 {
+		t.Errorf("no super-nodes recorded")
+	}
+	if m.Iterations == 0 {
+		t.Errorf("no iterations recorded")
+	}
+	if m.Elapsed <= 0 {
+		t.Errorf("no elapsed time recorded")
+	}
+}
+
+// anySCAN must be work-efficient: on a clustered graph its similarity work
+// (including pruned checks) should not exceed SCAN's 2|E| evaluations.
+func TestWorkEfficiency(t *testing.T) {
+	for _, tc := range testutil.RandomCases(1) {
+		_, m := mustCluster(t, tc.G, opts(tc.Mu, tc.Eps, 1, 8192, 8192))
+		scanWork := tc.G.NumArcs()
+		work := m.Sim.Sims + m.Sim.Pruned
+		if work > scanWork+scanWork/5 {
+			t.Errorf("%s: anySCAN work %d far exceeds SCAN %d", tc.Name, work, scanWork)
+		}
+	}
+}
+
+func TestStateTransitionLattice(t *testing.T) {
+	// Spot-check the Fig. 3 lattice encoding.
+	valid := [][2]vertexState{
+		{stateUntouched, stateUnprocBorder},
+		{stateUntouched, stateUnprocCore},
+		{stateUntouched, stateProcCore},
+		{stateUntouched, stateProcNoise},
+		{stateUntouched, stateUnprocNoise},
+		{stateUnprocNoise, stateProcBorder},
+		{stateUnprocNoise, stateProcNoise},
+		{stateUnprocBorder, stateUnprocCore},
+		{stateUnprocBorder, stateProcBorder},
+		{stateUnprocCore, stateProcCore},
+		{stateProcNoise, stateProcBorder},
+	}
+	for _, tr := range valid {
+		if !validTransition(tr[0], tr[1]) {
+			t.Errorf("transition %s → %s should be valid", stateName(tr[0]), stateName(tr[1]))
+		}
+	}
+	invalid := [][2]vertexState{
+		{stateProcCore, stateProcBorder},
+		{stateProcBorder, stateProcCore},
+		{stateProcBorder, stateUnprocBorder},
+		{stateUnprocCore, stateProcBorder},
+		{stateUnprocCore, stateUnprocBorder},
+		{stateProcNoise, stateUntouched},
+		{stateProcNoise, stateProcCore},
+		{stateUnprocNoise, stateUnprocCore},
+		{stateUnprocNoise, stateProcCore},
+	}
+	for _, tr := range invalid {
+		if validTransition(tr[0], tr[1]) {
+			t.Errorf("transition %s → %s should be invalid", stateName(tr[0]), stateName(tr[1]))
+		}
+	}
+}
+
+func TestSimOptimizationTogglesPreserveResult(t *testing.T) {
+	tc := testutil.RandomCases(1)[2] // weighted ER
+	var base *cluster.Result
+	for _, simOpt := range []simeval.Options{
+		{},
+		{Lemma5: true},
+		{EarlyExit: true},
+		simeval.AllOptimizations,
+	} {
+		o := opts(tc.Mu, tc.Eps, 1, 64, 64)
+		o.Sim = simOpt
+		o.ResolveRoles = true
+		res, _ := mustCluster(t, tc.G, o)
+		if base == nil {
+			base = res
+			continue
+		}
+		if err := cluster.Equivalent(base, res); err != nil {
+			t.Fatalf("optimizations %+v changed the result: %v", simOpt, err)
+		}
+	}
+}
+
+func TestSeedChangesOrderNotResult(t *testing.T) {
+	tc := testutil.RandomCases(1)[5] // holme-kim
+	want := cluster.Reference(tc.G, tc.Mu, tc.Eps)
+	for seed := int64(1); seed <= 5; seed++ {
+		o := opts(tc.Mu, tc.Eps, 1, 32, 32)
+		o.Seed = seed
+		res, _ := mustCluster(t, tc.G, o)
+		if err := cluster.Equivalent(want, res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	empty, err := graph.FromUnweightedEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := mustCluster(t, empty, opts(2, 0.5, 2, 8, 8))
+	if res.N() != 0 {
+		t.Fatalf("empty graph result has %d vertices", res.N())
+	}
+
+	isolated, err := graph.FromUnweightedEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ = mustCluster(t, isolated, opts(2, 0.5, 1, 8, 8))
+	for v := 0; v < 5; v++ {
+		if !res.Roles[v].IsNoise() {
+			t.Errorf("isolated vertex %d: want noise, got %v", v, res.Roles[v])
+		}
+	}
+
+	single, err := graph.FromUnweightedEdges(2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ = mustCluster(t, single, opts(2, 0.9, 1, 8, 8))
+	if err := cluster.Validate(single, 2, 0.9, res); err != nil {
+		t.Fatalf("single edge: %v", err)
+	}
+}
+
+func TestMuOneEveryVertexIsCore(t *testing.T) {
+	g := testutil.Karate()
+	o := opts(1, 0.99, 2, 8, 8)
+	o.ResolveRoles = true
+	res, _ := mustCluster(t, g, o)
+	if err := cluster.Validate(g, 1, 0.99, res); err != nil {
+		t.Fatalf("mu=1: %v", err)
+	}
+	for v := 0; v < res.N(); v++ {
+		if res.Roles[v] != cluster.Core {
+			t.Fatalf("mu=1: vertex %d is %v, want core", v, res.Roles[v])
+		}
+	}
+}
+
+func TestWorkerLoadAccounting(t *testing.T) {
+	tc := testutil.RandomCases(1)[5]
+	for _, threads := range []int{1, 4} {
+		_, m := mustCluster(t, tc.G, opts(tc.Mu, tc.Eps, threads, 64, 64))
+		if len(m.WorkerArcs) != threads {
+			t.Fatalf("threads=%d: WorkerArcs has %d entries", threads, len(m.WorkerArcs))
+		}
+		var total int64
+		for _, a := range m.WorkerArcs {
+			total += a
+		}
+		if total == 0 {
+			t.Fatalf("threads=%d: no arc work recorded", threads)
+		}
+		imb := m.LoadImbalance()
+		if imb < 1 {
+			t.Fatalf("imbalance %v < 1", imb)
+		}
+		if threads == 1 && imb != 1 {
+			t.Fatalf("single worker imbalance = %v, want 1", imb)
+		}
+	}
+}
+
+func TestProgressAndPhaseDurations(t *testing.T) {
+	g := testutil.Karate()
+	c, err := New(g, opts(3, 0.5, 1, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Progress()
+	if p.Iterations != 0 || p.Phase != PhaseSummarize || p.SuperNodes != 0 {
+		t.Fatalf("fresh progress: %+v", p)
+	}
+	c.Step()
+	p = c.Progress()
+	if p.Iterations != 1 || p.Touched == 0 {
+		t.Fatalf("progress after one step: %+v", p)
+	}
+	for c.Step() {
+	}
+	if !c.Done() || c.Phase() != PhaseDone {
+		t.Fatal("run did not finish")
+	}
+	d := c.PhaseDurations()
+	if d[PhaseSummarize] <= 0 {
+		t.Fatalf("no summarize time recorded: %v", d)
+	}
+	var total int64
+	for _, v := range d {
+		total += int64(v)
+	}
+	if total > int64(c.Metrics().Elapsed) {
+		t.Fatalf("phase durations %v exceed elapsed %v", total, c.Metrics().Elapsed)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseSummarize: "summarize",
+		PhaseStrong:    "strong-merge",
+		PhaseWeak:      "weak-merge",
+		PhaseBorders:   "borders",
+		PhaseDone:      "done",
+		Phase(42):      "Phase(42)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}

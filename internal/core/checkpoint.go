@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"time"
+
+	"anyscan/internal/graph"
+	"anyscan/internal/simeval"
+	"anyscan/internal/unionfind"
+)
+
+// checkpointVersion guards against loading checkpoints from incompatible
+// library versions.
+const checkpointVersion = 1
+
+// checkpointState is the gob payload of a suspended run. The graph itself
+// is not serialized — the caller supplies it again at load time and a
+// fingerprint check rejects mismatches.
+type checkpointState struct {
+	Version int
+	Graph   graphFingerprint
+
+	Opt Options
+
+	State    []int32
+	Nei      []int32
+	SnOf     [][]int32
+	SnRep    []int32
+	DSParent []int32
+	DSRank   []uint8
+	DSSets   int
+	BorderOf []int32
+	Noise    []int32
+	EpsCache [][]int32
+	Order    []int32
+	Cursor   int
+
+	Phase   Phase
+	WorkS   []int32
+	WorkT   []int32
+	WorkPos int
+
+	Memo []int32
+
+	UnionsSeq    int64
+	UnionsStep23 int64
+	WorkerArcs   []int64
+	Iterations   int
+	Elapsed      time.Duration
+	PhaseTime    []time.Duration
+	Sim          simeval.CounterValues
+}
+
+type graphFingerprint struct {
+	Vertices int
+	Arcs     int64
+	Hash     uint64
+}
+
+func fingerprint(g *graph.CSR) graphFingerprint {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(x int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	n := int32(g.NumVertices())
+	put(int64(n))
+	for v := int32(0); v < n; v++ {
+		lo, hi := g.NeighborRange(v)
+		put(hi - lo)
+		for e := lo; e < hi; e++ {
+			q, w := g.Arc(e)
+			put(int64(q)<<32 | int64(int32(floatBits(w))))
+		}
+	}
+	return graphFingerprint{Vertices: g.NumVertices(), Arcs: g.NumArcs(), Hash: h.Sum64()}
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+// SaveCheckpoint serializes the complete run state so it can be resumed
+// later — possibly in another process — with LoadCheckpoint. Call it only
+// between Step invocations (the suspended anytime position), never
+// concurrently with Step.
+func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
+	st := checkpointState{
+		Version:      checkpointVersion,
+		Graph:        fingerprint(c.g),
+		Opt:          c.opt,
+		State:        c.state,
+		Nei:          c.nei,
+		SnOf:         c.snOf,
+		SnRep:        c.snRep,
+		BorderOf:     c.borderOf,
+		Noise:        c.noise,
+		EpsCache:     c.epsCache,
+		Order:        c.order,
+		Cursor:       c.cursor,
+		Phase:        c.phase,
+		WorkS:        c.workS,
+		WorkT:        c.workT,
+		WorkPos:      c.workPos,
+		Memo:         c.memo,
+		UnionsSeq:    c.unionsSeq,
+		UnionsStep23: c.unionsStep23,
+		WorkerArcs:   c.workerArcs,
+		Iterations:   c.iterations,
+		Elapsed:      c.elapsed,
+		PhaseTime:    c.phaseTime[:],
+		Sim:          c.eng.C.Snapshot(),
+	}
+	st.DSParent, st.DSRank, st.DSSets = c.ds.Snapshot()
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// LoadCheckpoint reconstructs a suspended Clusterer over g from a
+// checkpoint written by SaveCheckpoint. g must be the same graph the run
+// was started on (a content fingerprint is verified). The resumed run
+// continues exactly where it stopped; the thread count is taken from the
+// saved options.
+func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("anyscan: decoding checkpoint: %w", err)
+	}
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("anyscan: checkpoint version %d not supported", st.Version)
+	}
+	if fp := fingerprint(g); fp != st.Graph {
+		return nil, fmt.Errorf("anyscan: checkpoint was taken on a different graph (fingerprint %x vs %x)", st.Graph.Hash, fp.Hash)
+	}
+	opt := st.Opt
+	if err := (&opt).validate(); err != nil {
+		return nil, fmt.Errorf("anyscan: checkpoint options invalid: %w", err)
+	}
+	n := g.NumVertices()
+	if len(st.State) != n || len(st.Nei) != n || len(st.SnOf) != n ||
+		len(st.BorderOf) != n || len(st.EpsCache) != n || len(st.Order) != n {
+		return nil, fmt.Errorf("anyscan: checkpoint arrays do not match graph size %d", n)
+	}
+	if len(st.DSParent) != len(st.SnRep) {
+		return nil, fmt.Errorf("anyscan: checkpoint super-node state inconsistent")
+	}
+	ds, err := unionfind.Restore(st.DSParent, st.DSRank, st.DSSets)
+	if err != nil {
+		return nil, fmt.Errorf("anyscan: checkpoint: %w", err)
+	}
+	if opt.EdgeMemo && int64(len(st.Memo)) != g.NumArcs() {
+		return nil, fmt.Errorf("anyscan: checkpoint memo does not match graph arcs")
+	}
+
+	c := &Clusterer{
+		g:            g,
+		opt:          opt,
+		eng:          simeval.New(g, opt.Eps, opt.Sim),
+		state:        st.State,
+		nei:          st.Nei,
+		snOf:         st.SnOf,
+		snRep:        st.SnRep,
+		ds:           ds,
+		borderOf:     st.BorderOf,
+		noise:        st.Noise,
+		epsCache:     st.EpsCache,
+		order:        st.Order,
+		cursor:       st.Cursor,
+		phase:        st.Phase,
+		workS:        st.WorkS,
+		workT:        st.WorkT,
+		workPos:      st.WorkPos,
+		memo:         st.Memo,
+		unionsSeq:    st.UnionsSeq,
+		unionsStep23: st.UnionsStep23,
+		iterations:   st.Iterations,
+		elapsed:      st.Elapsed,
+	}
+	copy(c.phaseTime[:], st.PhaseTime)
+	c.eng.C.Restore(st.Sim)
+	if opt.EdgeMemo {
+		c.rev = g.ReverseEdgeIndex()
+	}
+	workers := opt.Threads
+	c.promoted = make([][]int32, workers)
+	c.mergeBuf = make([][][2]int32, workers)
+	c.workerArcs = make([]int64, workers)
+	if len(st.WorkerArcs) == workers {
+		copy(c.workerArcs, st.WorkerArcs)
+	}
+	return c, nil
+}

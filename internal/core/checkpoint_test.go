@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/testutil"
+)
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	tc := testutil.RandomCases(1)[4] // planted weighted
+	for _, withMemo := range []bool{false, true} {
+		o := opts(tc.Mu, tc.Eps, 2, 32, 32)
+		o.EdgeMemo = withMemo
+		want, _ := mustCluster(t, tc.G, o)
+
+		// Suspend at several different points of the run (covering every
+		// phase), checkpoint, reload, finish, compare.
+		for _, stopAfter := range []int{1, 3, 6, 10, 25, 100} {
+			c, err := New(tc.G, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < stopAfter && c.Step(); i++ {
+			}
+			var buf bytes.Buffer
+			if err := c.SaveCheckpoint(&buf); err != nil {
+				t.Fatalf("save after %d: %v", stopAfter, err)
+			}
+			resumed, err := LoadCheckpoint(tc.G, &buf)
+			if err != nil {
+				t.Fatalf("load after %d: %v", stopAfter, err)
+			}
+			if resumed.Phase() != c.Phase() {
+				t.Fatalf("phase not restored: %v vs %v", resumed.Phase(), c.Phase())
+			}
+			for resumed.Step() {
+			}
+			got := resumed.Snapshot()
+			for v := 0; v < got.N(); v++ {
+				if got.Labels[v] != want.Labels[v] || got.Roles[v] != want.Roles[v] {
+					t.Fatalf("memo=%v stop=%d: vertex %d differs after resume", withMemo, stopAfter, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointMetricsSurvive(t *testing.T) {
+	g := testutil.Karate()
+	c, err := New(g, opts(3, 0.5, 1, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	c.Step()
+	before := c.Metrics()
+	var buf bytes.Buffer
+	if err := c.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadCheckpoint(g, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := resumed.Metrics()
+	if after.Sim.Sims != before.Sim.Sims || after.Iterations != before.Iterations ||
+		after.SuperNodes != before.SuperNodes || after.Elapsed != before.Elapsed {
+		t.Fatalf("metrics not restored: %+v vs %+v", after, before)
+	}
+}
+
+func TestCheckpointRejectsWrongGraph(t *testing.T) {
+	g := testutil.Karate()
+	c, err := New(g, opts(3, 0.5, 1, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	var buf bytes.Buffer
+	if err := c.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testutil.TwoTriangles()
+	if _, err := LoadCheckpoint(other, &buf); err == nil {
+		t.Fatal("checkpoint accepted for a different graph")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	g := testutil.Karate()
+	if _, err := LoadCheckpoint(g, bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCheckpointOfFinishedRun(t *testing.T) {
+	g := testutil.Karate()
+	c, err := New(g, opts(3, 0.5, 1, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c.Step() {
+	}
+	var buf bytes.Buffer
+	if err := c.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadCheckpoint(g, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Done() {
+		t.Fatal("finished run resumed as unfinished")
+	}
+	if err := cluster.Equivalent(c.Snapshot(), resumed.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import "anyscan/internal/cluster"
+
+// Snapshot materializes the current (possibly intermediate) clustering: the
+// best-so-far result of the anytime scheme. Every vertex belonging to at
+// least one super-node is labeled with its super-node's current cluster;
+// noise and not-yet-touched vertices are unlabeled. Calling Snapshot after
+// the run finishes yields the final, SCAN-identical clustering with noise
+// split into hubs and outliers.
+//
+// Snapshot must not be called concurrently with Step; call it between Step
+// invocations (or after Run), which is exactly the suspend/inspect/resume
+// pattern of the paper's interactive scheme.
+func (c *Clusterer) Snapshot() *cluster.Result {
+	n := len(c.state)
+	res := cluster.NewResult(n)
+	dense := make(map[int32]int32)
+	labelOf := func(root int32) int32 {
+		l, ok := dense[root]
+		if !ok {
+			l = int32(len(dense))
+			dense[root] = l
+		}
+		return l
+	}
+	for v := int32(0); v < int32(n); v++ {
+		switch c.loadState(v) {
+		case stateProcCore, stateUnprocCore:
+			res.Roles[v] = cluster.Core
+		case stateProcBorder, stateUnprocBorder:
+			res.Roles[v] = cluster.Border
+		case stateProcNoise, stateUnprocNoise:
+			res.Roles[v] = cluster.Outlier // refined below when done
+		default:
+			res.Roles[v] = cluster.Unclassified
+		}
+		switch {
+		case len(c.snOf[v]) > 0:
+			res.Labels[v] = labelOf(c.ds.FindNoCompress(c.snOf[v][0]))
+		case c.borderOf[v] >= 0:
+			res.Labels[v] = labelOf(c.ds.FindNoCompress(c.borderOf[v]))
+		}
+	}
+	if c.phase == PhaseDone {
+		cluster.ClassifyNoise(c.g, res)
+	}
+	res.Canonicalize()
+	return res
+}

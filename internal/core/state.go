@@ -1,0 +1,129 @@
+package core
+
+import "sync/atomic"
+
+// vertexState is the Fig. 3 vertex state. All accesses go through atomic
+// operations because Step-1 phase 2 and Step 4 mutate states from multiple
+// workers.
+type vertexState = int32
+
+// Vertex states (Fig. 3). "Processed" means the vertex's full
+// ε-neighborhood has been materialized (or its noise status verified);
+// "unprocessed" vertices have inferred knowledge only.
+const (
+	stateUntouched    vertexState = iota // nothing known
+	stateUnprocNoise                     // |Γ(v)| < μ: can never be a core
+	stateUnprocBorder                    // claimed by ≥1 super-node, coreness unknown
+	stateUnprocCore                      // known core (nei ≥ μ or core check), not summarized
+	stateProcNoise                       // examined, not core, in no cluster (yet)
+	stateProcBorder                      // verified non-core, member of a cluster
+	stateProcCore                        // examined core, representative of a super-node
+)
+
+func stateName(s vertexState) string {
+	switch s {
+	case stateUntouched:
+		return "untouched"
+	case stateUnprocNoise:
+		return "unprocessed-noise"
+	case stateUnprocBorder:
+		return "unprocessed-border"
+	case stateUnprocCore:
+		return "unprocessed-core"
+	case stateProcNoise:
+		return "processed-noise"
+	case stateProcBorder:
+		return "processed-border"
+	case stateProcCore:
+		return "processed-core"
+	}
+	return "invalid"
+}
+
+// validTransition encodes the Fig. 3 lattice; used by tests and debug
+// assertions to check that no illegal transition ever happens.
+func validTransition(from, to vertexState) bool {
+	if from == to {
+		return true
+	}
+	switch from {
+	case stateUntouched:
+		return to == stateUnprocNoise || to == stateUnprocBorder ||
+			to == stateUnprocCore || to == stateProcNoise || to == stateProcCore
+	case stateUnprocNoise:
+		return to == stateProcBorder || to == stateProcNoise
+	case stateUnprocBorder:
+		return to == stateUnprocCore || to == stateProcBorder || to == stateProcCore
+	case stateUnprocCore:
+		return to == stateProcCore
+	case stateProcNoise:
+		return to == stateProcBorder
+	}
+	// processed-border and processed-core are terminal.
+	return false
+}
+
+func (c *Clusterer) loadState(v int32) vertexState {
+	return atomic.LoadInt32(&c.state[v])
+}
+
+func (c *Clusterer) setState(v int32, s vertexState) {
+	atomic.StoreInt32(&c.state[v], s)
+}
+
+func (c *Clusterer) casState(v int32, old, new vertexState) bool {
+	return atomic.CompareAndSwapInt32(&c.state[v], old, new)
+}
+
+// isKnownCore reports whether s marks a vertex whose coreness is proven.
+func isKnownCore(s vertexState) bool {
+	return s == stateUnprocCore || s == stateProcCore
+}
+
+// markClaimed applies the "q is an ε-neighbor of a core" transition:
+// untouched → unprocessed-border, either noise state → processed-border.
+// States already at or beyond border level are left alone.
+func (c *Clusterer) markClaimed(q int32) {
+	for {
+		s := c.loadState(q)
+		var t vertexState
+		switch s {
+		case stateUntouched:
+			t = stateUnprocBorder
+		case stateUnprocNoise, stateProcNoise:
+			t = stateProcBorder
+		default:
+			return
+		}
+		if c.casState(q, s, t) {
+			return
+		}
+	}
+}
+
+// bumpNei atomically increments nei(q) (the count of discovered ε-neighbors
+// including self) and, when the count reaches μ, promotes q to
+// unprocessed-core (from untouched or unprocessed-border). Returns true when
+// this call performed the promotion, so the caller can schedule the
+// Lemma 2 union of q's super-nodes.
+func (c *Clusterer) bumpNei(q int32) bool {
+	n := atomic.AddInt32(&c.nei[q], 1)
+	if c.opt.Ablation.NoNeiPromotion {
+		return false
+	}
+	if n != int32(c.opt.Mu) {
+		// Only the increment that crosses the threshold may promote: earlier
+		// ones are below μ, later ones find the state already promoted (or
+		// the vertex was processed, which caps nei below μ).
+		return false
+	}
+	for {
+		s := c.loadState(q)
+		if s != stateUntouched && s != stateUnprocBorder {
+			return false
+		}
+		if c.casState(q, s, stateUnprocCore) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"anyscan/internal/testutil"
+)
+
+// newIdle returns a Clusterer that has performed no steps, for direct
+// state-machine testing.
+func newIdle(t *testing.T, mu int) *Clusterer {
+	t.Helper()
+	c, err := New(testutil.Karate(), opts(mu, 0.5, 4, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMarkClaimedTransitions(t *testing.T) {
+	c := newIdle(t, 3)
+	v := int32(0)
+
+	// untouched → unprocessed-border.
+	c.setState(v, stateUntouched)
+	c.markClaimed(v)
+	if got := c.loadState(v); got != stateUnprocBorder {
+		t.Fatalf("untouched claim → %s", stateName(got))
+	}
+	// unprocessed-noise → processed-border.
+	c.setState(v, stateUnprocNoise)
+	c.markClaimed(v)
+	if got := c.loadState(v); got != stateProcBorder {
+		t.Fatalf("unprocessed-noise claim → %s", stateName(got))
+	}
+	// processed-noise → processed-border.
+	c.setState(v, stateProcNoise)
+	c.markClaimed(v)
+	if got := c.loadState(v); got != stateProcBorder {
+		t.Fatalf("processed-noise claim → %s", stateName(got))
+	}
+	// Stronger states are untouched by claims.
+	for _, s := range []vertexState{stateUnprocBorder, stateUnprocCore, stateProcBorder, stateProcCore} {
+		c.setState(v, s)
+		c.markClaimed(v)
+		if got := c.loadState(v); got != s {
+			t.Fatalf("claim changed %s → %s", stateName(s), stateName(got))
+		}
+	}
+}
+
+func TestBumpNeiPromotesExactlyOnceAtMu(t *testing.T) {
+	mu := 4
+	c := newIdle(t, mu)
+	v := int32(1)
+	c.setState(v, stateUnprocBorder)
+	promotions := 0
+	// nei starts at 1 (self); μ-1 bumps reach the threshold.
+	for i := 0; i < 10; i++ {
+		if c.bumpNei(v) {
+			promotions++
+			if i != mu-2 {
+				t.Fatalf("promotion at bump %d, want %d", i, mu-2)
+			}
+		}
+	}
+	if promotions != 1 {
+		t.Fatalf("promotions = %d, want exactly 1", promotions)
+	}
+	if got := c.loadState(v); got != stateUnprocCore {
+		t.Fatalf("state after promotion = %s", stateName(got))
+	}
+}
+
+func TestBumpNeiNeverPromotesProcessedStates(t *testing.T) {
+	c := newIdle(t, 2)
+	for i, s := range []vertexState{stateProcNoise, stateProcBorder, stateProcCore} {
+		v := int32(i + 2)
+		c.setState(v, s)
+		c.nei[v] = 0 // next bump crosses μ=2... but processed states refuse
+		for k := 0; k < 5; k++ {
+			if c.bumpNei(v) {
+				t.Fatalf("promotion out of %s", stateName(s))
+			}
+		}
+		if got := c.loadState(v); got != s {
+			t.Fatalf("bump changed %s → %s", stateName(s), stateName(got))
+		}
+	}
+}
+
+func TestConcurrentClaimsAndBumpsConverge(t *testing.T) {
+	mu := 8
+	c := newIdle(t, mu)
+	v := int32(3)
+	c.setState(v, stateUntouched)
+	c.nei[v] = 1
+
+	var wg sync.WaitGroup
+	var promoted sync.Once
+	promotions := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				c.markClaimed(v)
+				if c.bumpNei(v) {
+					promoted.Do(func() { promotions = 1 })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 32 bumps from nei=1 with μ=8: promotion must have happened exactly
+	// once, and the final state must be unprocessed-core.
+	if promotions != 1 {
+		t.Fatalf("no promotion observed")
+	}
+	if got := c.loadState(v); got != stateUnprocCore {
+		t.Fatalf("final state = %s", stateName(got))
+	}
+	if c.nei[v] != 33 {
+		t.Fatalf("nei = %d, want 33", c.nei[v])
+	}
+}
+
+func TestCoreCheckAgainstDefinition(t *testing.T) {
+	g := testutil.Karate()
+	for _, mu := range []int{2, 3, 5, 8} {
+		c, err := New(g, opts(mu, 0.5, 1, 8, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			// Count ε-similar neighbors directly.
+			cnt := 1
+			adj, wts := g.Neighbors(v)
+			for i, q := range adj {
+				if c.eng.SimilarEdge(v, q, wts[i]) {
+					cnt++
+				}
+			}
+			want := cnt >= mu
+			if got := c.coreCheck(v); got != want {
+				t.Fatalf("mu=%d vertex %d: coreCheck=%v, definition=%v", mu, v, got, want)
+			}
+		}
+	}
+}

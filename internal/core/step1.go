@@ -1,0 +1,138 @@
+package core
+
+import "anyscan/internal/par"
+
+// stepSummarize performs one Step-1 iteration: select a block of α untouched
+// vertices, evaluate their ε-neighborhoods in parallel, mark neighbor states
+// and nei counts in parallel, then build super-nodes and perform the Lemma-2
+// unions sequentially (the three-phase structure of Fig. 4 lines 5-24).
+// Returns false when no untouched vertices remain.
+func (c *Clusterer) stepSummarize() bool {
+	// Select up to α untouched vertices from the shuffled order.
+	c.blockVerts = c.blockVerts[:0]
+	for c.cursor < len(c.order) && len(c.blockVerts) < c.opt.Alpha {
+		v := c.order[c.cursor]
+		c.cursor++
+		if c.loadState(v) == stateUntouched {
+			c.blockVerts = append(c.blockVerts, v)
+		}
+	}
+	k := len(c.blockVerts)
+	if k == 0 {
+		return false
+	}
+	c.growScratch(k)
+
+	// Phase 1 (parallel): range queries. Each worker fills the ε-neighbor
+	// buffer of its vertices and marks the vertex processed-core or
+	// processed-noise. No cross-vertex writes, so no synchronization beyond
+	// the final barrier.
+	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+		p := c.blockVerts[i]
+		buf := c.blockEps[i][:0]
+		adj, wts := c.g.Neighbors(p)
+		lo, _ := c.g.NeighborRange(p)
+		c.workerArcs[w] += int64(len(adj))
+		for j, q := range adj {
+			if c.similarArc(p, lo+int64(j), q, wts[j]) {
+				buf = append(buf, q)
+			}
+		}
+		c.blockEps[i] = buf
+		isCore := len(buf)+1 >= c.opt.Mu // +1: p itself (σ(p,p)=1)
+		c.blockCore[i] = isCore
+		if isCore {
+			c.setState(p, stateProcCore)
+		} else {
+			c.setState(p, stateProcNoise)
+		}
+	})
+
+	// Phase 2 (parallel): mark the discovered ε-neighbors. State moves are
+	// CAS transitions on the Fig. 3 lattice; nei counting is a single atomic
+	// add per neighbor (the paper measures this to be ~200× cheaper than a
+	// critical section). A neighbor whose nei count reaches μ is promoted to
+	// unprocessed-core and queued so phase 3 can merge its super-nodes
+	// (Lemma 2) — the increment can come from a noise vertex, a case the
+	// paper's pseudocode would leave unmerged.
+	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+		isCore := c.blockCore[i]
+		for _, q := range c.blockEps[i] {
+			if isCore {
+				c.markClaimed(q)
+			}
+			if c.bumpNei(q) {
+				c.promoted[w] = append(c.promoted[w], q)
+			}
+		}
+	})
+
+	// Phase 3 (sequential): create super-nodes for the block's cores, append
+	// memberships, and union super-nodes that share a known core (Fig. 4
+	// lines 16-24). Noise vertices go to the noise list L with their cached
+	// ε-neighborhood for Step 4.
+	for i, p := range c.blockVerts {
+		if !c.blockCore[i] {
+			c.noise = append(c.noise, p)
+			eps := make([]int32, len(c.blockEps[i]))
+			copy(eps, c.blockEps[i])
+			c.epsCache[p] = eps
+			continue
+		}
+		sid := c.ds.Add()
+		c.snRep = append(c.snRep, p)
+		c.attachMember(sid, p)
+		for _, q := range c.blockEps[i] {
+			c.attachMember(sid, q)
+		}
+	}
+	// Promotion unions: a vertex that just became a known core merges all
+	// super-nodes containing it (Lemma 2). Vertices promoted while in no
+	// super-node receive a lazy singleton so the invariant "every known core
+	// has a cluster" holds for the Step-3 pruning and Step-4 attachment.
+	for w := range c.promoted {
+		for _, q := range c.promoted[w] {
+			if len(c.snOf[q]) == 0 {
+				sid := c.ds.Add()
+				c.snRep = append(c.snRep, q)
+				c.snOf[q] = append(c.snOf[q], sid)
+				continue
+			}
+			sns := c.snOf[q]
+			for j := 1; j < len(sns); j++ {
+				if c.ds.Union(sns[0], sns[j]) {
+					c.unionsSeq++
+				}
+			}
+		}
+		c.promoted[w] = c.promoted[w][:0]
+	}
+	return true
+}
+
+// attachMember records that q belongs to super-node sid and, when q is a
+// known core, merges sid with every super-node already containing q
+// (Fig. 2 lines 11-14).
+func (c *Clusterer) attachMember(sid int32, q int32) {
+	if isKnownCore(c.loadState(q)) {
+		for _, g := range c.snOf[q] {
+			if c.ds.Union(sid, g) {
+				c.unionsSeq++
+			}
+		}
+	}
+	c.snOf[q] = append(c.snOf[q], sid)
+}
+
+// growScratch sizes the per-block scratch buffers for a block of k vertices.
+func (c *Clusterer) growScratch(k int) {
+	for len(c.blockEps) < k {
+		c.blockEps = append(c.blockEps, nil)
+	}
+	if cap(c.blockCore) < k {
+		c.blockCore = make([]bool, k)
+		c.blockSkip = make([]bool, k)
+	}
+	c.blockCore = c.blockCore[:k]
+	c.blockSkip = c.blockSkip[:k]
+}

@@ -1,0 +1,164 @@
+package core
+
+import "anyscan/internal/par"
+
+// stepStrong performs one Step-2 iteration over a block of β vertices from
+// the worklist S: in parallel, each vertex is pruned (all its super-nodes
+// already share a cluster) or core-checked; sequentially, vertices found to
+// be cores merge all their super-nodes (Lemma 2). Returns false when S is
+// exhausted.
+func (c *Clusterer) stepStrong() bool {
+	if c.workPos >= len(c.workS) {
+		return false
+	}
+	end := c.workPos + c.opt.Beta
+	if end > len(c.workS) {
+		end = len(c.workS)
+	}
+	block := c.workS[c.workPos:end]
+	c.workPos = end
+	k := len(block)
+	c.growScratch(k)
+
+	// Parallel phase: prune or core-check. The disjoint set is only read
+	// here (FindNoCompress), all unions happen in the sequential phase.
+	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+		p := block[i]
+		sns := c.snOf[p]
+		same := false
+		if !c.opt.Ablation.NoPruning {
+			root := c.ds.FindNoCompress(sns[0])
+			same = true
+			for _, s := range sns[1:] {
+				if c.ds.FindNoCompress(s) != root {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			// Examining p cannot change the clustering (Fig. 2 line 25);
+			// its coreness stays unknown.
+			c.blockSkip[i] = true
+			c.blockCore[i] = false
+			return
+		}
+		c.blockSkip[i] = false
+		c.workerArcs[w] += int64(c.g.Degree(p))
+		c.blockCore[i] = c.coreCheck(p)
+	})
+
+	// Sequential phase: apply state transitions and the Lemma-2 unions.
+	for i, p := range block {
+		if c.blockSkip[i] {
+			continue
+		}
+		if !c.blockCore[i] {
+			c.setState(p, stateProcBorder)
+			continue
+		}
+		c.setState(p, stateUnprocCore)
+		sns := c.snOf[p]
+		for j := 1; j < len(sns); j++ {
+			if c.ds.Union(sns[0], sns[j]) {
+				c.unionsStep23++
+			}
+		}
+	}
+	return true
+}
+
+// stepWeak performs one Step-3 iteration over a block of β vertices from the
+// worklist T, detecting weakly-related super-nodes that must merge because
+// two adjacent cores are structurally similar (Lemma 3). Three phases:
+// (A, parallel) prune vertices whose whole neighborhood already shares their
+// cluster, core-check the rest; (B1, parallel) evaluate σ on candidate
+// core-core edges crossing clusters and collect merge pairs; (B2,
+// sequential) apply the unions. Returns false when T is exhausted.
+func (c *Clusterer) stepWeak() bool {
+	if c.workPos >= len(c.workT) {
+		return false
+	}
+	end := c.workPos + c.opt.Beta
+	if end > len(c.workT) {
+		end = len(c.workT)
+	}
+	block := c.workT[c.workPos:end]
+	c.workPos = end
+	k := len(block)
+	c.growScratch(k)
+
+	// Phase A: prune + core check. Writes only the vertex's own state.
+	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+		p := block[i]
+		c.workerArcs[w] += int64(c.g.Degree(p))
+		pruned := false
+		if !c.opt.Ablation.NoPruning {
+			myClu := c.clusterOf(p)
+			pruned = true
+			adj, _ := c.g.Neighbors(p)
+			for _, q := range adj {
+				if len(c.snOf[q]) > 0 && c.ds.FindNoCompress(c.snOf[q][0]) != myClu {
+					pruned = false
+					break
+				}
+			}
+		}
+		if pruned {
+			// No neighbor lies in a different cluster, so examining p cannot
+			// merge anything (Fig. 2 line 40): skip, coreness stays unknown.
+			c.blockSkip[i] = true
+			c.blockCore[i] = false
+			return
+		}
+		c.blockSkip[i] = false
+		if c.loadState(p) == stateUnprocBorder {
+			if c.coreCheck(p) {
+				c.setState(p, stateUnprocCore)
+				c.blockCore[i] = true
+			} else {
+				c.setState(p, stateProcBorder)
+				c.blockCore[i] = false
+			}
+		} else {
+			c.blockCore[i] = true // already a known core
+		}
+	})
+
+	// Phase B1: for each core of the block, evaluate σ against known-core
+	// neighbors in other clusters (the expensive similarity work stays
+	// parallel, as in Fig. 4 lines 53-61); merge pairs are buffered per
+	// worker instead of a critical section.
+	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+		if c.blockSkip[i] || !c.blockCore[i] {
+			return
+		}
+		p := block[i]
+		mySn := c.snOf[p][0]
+		adj, wts := c.g.Neighbors(p)
+		lo, _ := c.g.NeighborRange(p)
+		for j, q := range adj {
+			if !isKnownCore(c.loadState(q)) {
+				continue
+			}
+			qSn := c.snOf[q][0]
+			if c.ds.FindNoCompress(qSn) == c.ds.FindNoCompress(mySn) {
+				continue
+			}
+			if c.similarArc(p, lo+int64(j), q, wts[j]) {
+				c.mergeBuf[w] = append(c.mergeBuf[w], [2]int32{mySn, qSn})
+			}
+		}
+	})
+
+	// Phase B2: apply the buffered unions.
+	for w := range c.mergeBuf {
+		for _, pair := range c.mergeBuf[w] {
+			if c.ds.Union(pair[0], pair[1]) {
+				c.unionsStep23++
+			}
+		}
+		c.mergeBuf[w] = c.mergeBuf[w][:0]
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package core
+
+import "anyscan/internal/par"
+
+// stepBorders performs Step 4: every vertex still in a noise state is
+// examined to decide whether it is actually a border of some cluster.
+// Processed-noise vertices reuse their cached ε-neighborhood from Step 1;
+// unprocessed-noise vertices (degree < μ, never examined) evaluate
+// similarities to their neighbors. A neighbor in the unprocessed-border
+// state gets an on-the-fly core check, which may redundantly repeat across
+// workers — the paper accepts this to keep Step 4 free of synchronization.
+func (c *Clusterer) stepBorders() {
+	n := int32(len(c.state))
+	work := make([]int32, 0, len(c.noise))
+	for v := int32(0); v < n; v++ {
+		switch c.loadState(v) {
+		case stateProcNoise, stateUnprocNoise:
+			work = append(work, v)
+		}
+	}
+	par.For(len(work), c.opt.Threads, 16, func(i int) {
+		p := work[i]
+		if c.loadState(p) == stateProcNoise {
+			// Every potential claiming core is in N^ε(p), all of whose
+			// members are already similar to p.
+			for _, q := range c.epsCache[p] {
+				if c.tryAttach(p, q) {
+					return
+				}
+			}
+			return // remains processed-noise: a true hub/outlier
+		}
+		// Unprocessed-noise: p was never examined; check σ(p,q) lazily.
+		adj, wts := c.g.Neighbors(p)
+		lo, _ := c.g.NeighborRange(p)
+		for j, q := range adj {
+			qs := c.loadState(q)
+			if !isKnownCore(qs) && qs != stateUnprocBorder {
+				continue
+			}
+			if !c.similarArc(p, lo+int64(j), q, wts[j]) {
+				continue
+			}
+			if c.tryAttach(p, q) {
+				return
+			}
+		}
+		c.setState(p, stateProcNoise) // examined: a true hub/outlier
+	})
+}
+
+// tryAttach makes p a border of q's cluster if q is (or turns out to be) a
+// core. σ(p,q) ≥ ε must already be established by the caller.
+func (c *Clusterer) tryAttach(p, q int32) bool {
+	switch s := c.loadState(q); {
+	case isKnownCore(s):
+		// q's cluster claims p.
+	case s == stateUnprocBorder:
+		if !c.coreCheckPromote(q) {
+			return false
+		}
+	default:
+		return false // q verified non-core (or noise): cannot claim p
+	}
+	c.borderOf[p] = c.snOf[q][0]
+	c.setState(p, stateProcBorder)
+	return true
+}
+
+// coreCheckPromote core-checks the unprocessed-border vertex q and records
+// the verdict in its state. Concurrent workers may check the same q; the
+// verdict is deterministic, so the racing CAS transitions agree.
+func (c *Clusterer) coreCheckPromote(q int32) bool {
+	if c.coreCheck(q) {
+		c.casState(q, stateUnprocBorder, stateUnprocCore)
+		return true
+	}
+	c.casState(q, stateUnprocBorder, stateProcBorder)
+	return false
+}
+
+// resolveRoles optionally finishes the core checks anySCAN was able to skip
+// (pruned unprocessed-border vertices), so the reported roles — not just the
+// cluster memberships — match SCAN's exactly. Enabled by
+// Options.ResolveRoles.
+func (c *Clusterer) resolveRoles() {
+	n := int32(len(c.state))
+	var work []int32
+	for v := int32(0); v < n; v++ {
+		if c.loadState(v) == stateUnprocBorder {
+			work = append(work, v)
+		}
+	}
+	par.For(len(work), c.opt.Threads, 16, func(i int) {
+		c.coreCheckPromote(work[i])
+	})
+}

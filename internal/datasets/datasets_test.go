@@ -1,0 +1,115 @@
+package datasets
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"anyscan/internal/graph"
+)
+
+const testScale = 0.08 // tiny but structurally meaningful
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("registry has %d datasets, want 15 (5 GR + 10 LFR)", len(names))
+	}
+	if got := len(RealNames()); got != 5 {
+		t.Errorf("RealNames: %d, want 5", got)
+	}
+	if got := len(LFRDegreeNames()); got != 5 {
+		t.Errorf("LFRDegreeNames: %d, want 5", got)
+	}
+	if got := len(LFRCCNames()); got != 5 {
+		t.Errorf("LFRCCNames: %d, want 5", got)
+	}
+	for _, n := range names {
+		info, err := Describe(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Paper == "" || info.Profile == "" {
+			t.Errorf("%s: incomplete registry info", n)
+		}
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Load("nope", 1); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("want unknown-dataset error, got %v", err)
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Fatal("Describe should reject unknown names")
+	}
+}
+
+func TestAllDatasetsLoadAndValidate(t *testing.T) {
+	for _, n := range Names() {
+		g, err := Load(n, testScale)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestLoadIsCachedAndDeterministic(t *testing.T) {
+	a := MustLoad("GR02L", testScale)
+	b := MustLoad("GR02L", testScale)
+	if a != b {
+		t.Error("second load should return the cached graph")
+	}
+}
+
+func TestDegreeSweepIsMonotone(t *testing.T) {
+	var prev float64
+	for i, n := range LFRDegreeNames() {
+		g := MustLoad(n, testScale)
+		d := float64(g.NumArcs()) / float64(g.NumVertices())
+		if i > 0 && d <= prev {
+			t.Errorf("%s: avg degree %v not above previous %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestCCSweepIsMonotone(t *testing.T) {
+	var prev float64
+	for i, n := range LFRCCNames() {
+		g := MustLoad(n, testScale)
+		cc := graph.ApproxAvgCC(g, 3000, 1)
+		if i > 0 && cc <= prev-0.02 {
+			t.Errorf("%s: cc %v not above previous %v", n, cc, prev)
+		}
+		prev = cc
+	}
+}
+
+func TestProfilesRoughlyMatchPaper(t *testing.T) {
+	// Average degrees should track the originals' profile even at tiny
+	// scale: GR01L densest, GR02L sparsest among the GR family.
+	want := map[string]float64{
+		"GR01L": 127.1, "GR02L": 14.2, "GR03L": 18.8, "GR04L": 38.1, "GR05L": 86.8,
+	}
+	for name, paperD := range want {
+		g := MustLoad(name, testScale)
+		d := float64(g.NumArcs()) / float64(g.NumVertices())
+		if math.Abs(math.Log(d/paperD)) > math.Log(2.0) {
+			t.Errorf("%s: avg degree %v is off the paper profile %v by more than 2×", name, d, paperD)
+		}
+	}
+}
+
+func TestScaleParameterShrinks(t *testing.T) {
+	small := MustLoad("GR03L", 0.05)
+	big := MustLoad("GR03L", 0.15)
+	if small.NumVertices() >= big.NumVertices() {
+		t.Errorf("scale knob broken: %d !< %d", small.NumVertices(), big.NumVertices())
+	}
+}

@@ -1,0 +1,241 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/testutil"
+)
+
+// checkAgainstReference validates the maintained clustering against the
+// brute-force reference on the exported graph. The maintainer's border rule
+// matches the reference, so full label equality is demanded.
+func checkAgainstReference(t *testing.T, m *Maintainer) {
+	t.Helper()
+	g, err := m.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.Reference(g, m.mu, m.eps)
+	got := m.Result()
+	for v := 0; v < got.N(); v++ {
+		if got.Roles[v] != want.Roles[v] || got.Labels[v] != want.Labels[v] {
+			t.Fatalf("vertex %d: got (%v,%d) want (%v,%d)",
+				v, got.Roles[v], got.Labels[v], want.Roles[v], want.Labels[v])
+		}
+	}
+}
+
+func TestFromGraphMatchesReference(t *testing.T) {
+	for _, tc := range testutil.RandomCases(1)[:4] {
+		m, err := FromGraph(tc.G, tc.Mu, tc.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumEdges() != tc.G.NumEdges() {
+			t.Fatalf("%s: edge count %d != %d", tc.Name, m.NumEdges(), tc.G.NumEdges())
+		}
+		checkAgainstReference(t, m)
+	}
+}
+
+func TestIncrementalInsertions(t *testing.T) {
+	// Build the karate club edge by edge, validating periodically.
+	g := testutil.Karate()
+	m, err := New(g.NumVertices(), 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		nb, wts := g.Neighbors(v)
+		for i, q := range nb {
+			if v < q {
+				if !m.AddEdge(v, q, wts[i]) {
+					t.Fatalf("AddEdge(%d,%d) rejected", v, q)
+				}
+				added++
+				if added%13 == 0 {
+					checkAgainstReference(t, m)
+				}
+			}
+		}
+	}
+	checkAgainstReference(t, m)
+	if m.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", m.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestIncrementalDeletions(t *testing.T) {
+	g := testutil.TwoTriangles()
+	m, err := FromGraph(g, 3, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Result()
+	if res.NumClusters != 2 {
+		t.Fatalf("initial clusters = %d, want 2", res.NumClusters)
+	}
+	// Break triangle A: {0,1,2} loses the (0,1) edge → cores collapse.
+	if !m.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) failed")
+	}
+	checkAgainstReference(t, m)
+	// Removing a non-existent edge is a no-op.
+	if m.RemoveEdge(0, 1) {
+		t.Fatal("double-remove succeeded")
+	}
+	// Restore it: the clustering must return to the original.
+	m.AddEdge(0, 1, 1)
+	checkAgainstReference(t, m)
+	res = m.Result()
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters after restore = %d, want 2", res.NumClusters)
+	}
+}
+
+func TestRandomChurn(t *testing.T) {
+	// Random interleaved insertions/deletions/weight updates on a random
+	// base graph; validate against the reference after every batch.
+	for _, seed := range []int64{1, 7} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60
+		m, err := New(n, 3, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type edge struct{ u, v int32 }
+		var present []edge
+		for step := 0; step < 400; step++ {
+			op := rng.Intn(10)
+			switch {
+			case op < 6 || len(present) == 0: // insert (or update weight)
+				u := int32(rng.Intn(n))
+				v := int32(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				w := 0.5 + rng.Float32()
+				existed := m.HasEdge(u, v)
+				m.AddEdge(u, v, w)
+				if !existed && m.HasEdge(u, v) {
+					present = append(present, edge{u, v})
+				}
+			case op < 9: // delete
+				i := rng.Intn(len(present))
+				e := present[i]
+				if !m.RemoveEdge(e.u, e.v) {
+					t.Fatalf("seed %d step %d: remove(%d,%d) failed", seed, step, e.u, e.v)
+				}
+				present[i] = present[len(present)-1]
+				present = present[:len(present)-1]
+			default: // weight update on an existing edge
+				i := rng.Intn(len(present))
+				e := present[i]
+				m.AddEdge(e.u, e.v, 0.5+rng.Float32())
+			}
+			if step%50 == 49 {
+				checkAgainstReference(t, m)
+			}
+		}
+		checkAgainstReference(t, m)
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	m, err := New(3, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.AddVertex()
+	if v != 3 || m.NumVertices() != 4 {
+		t.Fatalf("AddVertex returned %d (n=%d)", v, m.NumVertices())
+	}
+	m.AddEdge(0, v, 1)
+	m.AddEdge(1, v, 1)
+	m.AddEdge(0, 1, 1)
+	checkAgainstReference(t, m)
+}
+
+func TestRejectsInvalidInput(t *testing.T) {
+	if _, err := New(5, 0, 0.5); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := New(5, 2, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := New(5, 2, 1.5); err == nil {
+		t.Error("eps=1.5 accepted")
+	}
+	m, err := New(5, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AddEdge(1, 1, 1) {
+		t.Error("self loop accepted")
+	}
+	if m.AddEdge(0, 99, 1) {
+		t.Error("out-of-range vertex accepted")
+	}
+	if m.AddEdge(0, 1, -2) {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestMaintenanceIsLocal(t *testing.T) {
+	// The number of σ re-evaluations per mutation must be bounded by the
+	// stars of the two endpoints, not the graph size.
+	tc := testutil.RandomCases(1)[0]
+	m, err := FromGraph(tc.G, tc.Mu, tc.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := int32(m.NumVertices())
+	for i := 0; i < 50; i++ {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		before := m.SimEvals
+		du, dv := m.Degree(u), m.Degree(v)
+		if !m.AddEdge(u, v, 1) {
+			continue
+		}
+		evals := m.SimEvals - before
+		bound := int64(du + dv + 4)
+		if evals > bound {
+			t.Fatalf("mutation re-evaluated %d σ, bound %d (deg %d+%d)", evals, bound, du, dv)
+		}
+		m.RemoveEdge(u, v)
+	}
+}
+
+// Property: after any mutation sequence the internal invariants hold —
+// similar bits symmetric, simCount equal to the recount, norms exact.
+func TestInternalInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40
+		m, err := New(n, 3, 0.5)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 150; step++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if rng.Intn(3) == 0 {
+				m.RemoveEdge(u, v)
+			} else if u != v {
+				m.AddEdge(u, v, 0.5+rng.Float32())
+			}
+		}
+		return m.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package gen
+
+import (
+	"math/rand"
+
+	"anyscan/internal/graph"
+)
+
+// AdjustCC rewires edges of g until the (sampled) average clustering
+// coefficient approaches target within tol, keeping the edge count exactly
+// constant and the degree distribution approximately constant. This is the
+// knob behind the paper's Table II cc sweep (LFR11..LFR15), which the LFR
+// binary exposes but the published model does not parameterize directly.
+//
+// To raise the coefficient, a move adds a triangle-closing edge between two
+// neighbors of a shared vertex and deletes an edge chosen (among sampled
+// candidates) to participate in as few triangles as possible; lowering the
+// coefficient uses the inverse move. maxMoves bounds the work. The function
+// returns the rewired graph and its final sampled cc. Deterministic for a
+// given seed.
+func AdjustCC(g *graph.CSR, target, tol float64, maxMoves int, wc WeightConfig, seed int64) (*graph.CSR, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return g, 0
+	}
+
+	// Mutable adjacency: set + lists.
+	es := newEdgeSet(int(g.NumEdges()))
+	adj := make([][]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		nb, _ := g.Neighbors(v)
+		for _, q := range nb {
+			if v < q {
+				es.add(v, q)
+			}
+		}
+		adj[v] = append(adj[v], nb...)
+	}
+	removeAdj := func(u, v int32) {
+		for i, q := range adj[u] {
+			if q == v {
+				adj[u][i] = adj[u][len(adj[u])-1]
+				adj[u] = adj[u][:len(adj[u])-1]
+				return
+			}
+		}
+	}
+	addEdge := func(u, v int32) bool {
+		if !es.add(u, v) {
+			return false
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		return true
+	}
+	removeEdge := func(u, v int32) {
+		es.remove(u, v)
+		removeAdj(u, v)
+		removeAdj(v, u)
+	}
+	// triangles returns the number of triangles through the (virtual or
+	// real) edge (x,y): |N(x) ∩ N(y)|.
+	triangles := func(x, y int32) int {
+		a, b := adj[x], adj[y]
+		if len(b) < len(a) {
+			a, b, x, y = b, a, y, x
+		}
+		c := 0
+		for _, w := range a {
+			if w != y && es.has(w, y) {
+				c++
+			}
+		}
+		return c
+	}
+	// randomEdge samples an (approximately uniform) existing edge.
+	randomEdge := func() (int32, int32, bool) {
+		for tries := 0; tries < 32; tries++ {
+			x := int32(rng.Intn(n))
+			if len(adj[x]) == 0 {
+				continue
+			}
+			return x, adj[x][rng.Intn(len(adj[x]))], true
+		}
+		return 0, 0, false
+	}
+
+	ccSamples := 1200
+	if ccSamples > n {
+		ccSamples = n
+	}
+	sampleCC := func() float64 {
+		var sum float64
+		for i := 0; i < ccSamples; i++ {
+			v := int32(rng.Intn(n))
+			d := len(adj[v])
+			if d < 2 {
+				continue
+			}
+			trials := d * (d - 1) / 2
+			if trials > 24 {
+				trials = 24
+			}
+			hits := 0
+			done := 0
+			for t := 0; t < trials*3 && done < trials; t++ {
+				a := adj[v][rng.Intn(d)]
+				b := adj[v][rng.Intn(d)]
+				if a == b {
+					continue
+				}
+				done++
+				if es.has(a, b) {
+					hits++
+				}
+			}
+			if done > 0 {
+				sum += float64(hits) / float64(done)
+			}
+		}
+		return sum / float64(ccSamples)
+	}
+
+	const checkEvery = 256
+	cc := sampleCC()
+	for move := 0; move < maxMoves; move++ {
+		if move%checkEvery == 0 {
+			cc = sampleCC()
+			if cc >= target-tol && cc <= target+tol {
+				break
+			}
+		}
+		v := int32(rng.Intn(n))
+		if len(adj[v]) < 2 {
+			continue
+		}
+		a := adj[v][rng.Intn(len(adj[v]))]
+		b := adj[v][rng.Intn(len(adj[v]))]
+		if a == b {
+			continue
+		}
+		if cc < target {
+			// Close the triangle (v,a,b); pay for it by deleting the
+			// sampled edge that sits in the fewest triangles, so the net
+			// triangle delta stays positive.
+			if es.has(a, b) {
+				continue
+			}
+			gain := triangles(a, b) // common neighbors of a and b, v among them
+			bestT := 1 << 30
+			var bx, by int32
+			for s := 0; s < 6; s++ {
+				x, y, ok := randomEdge()
+				if !ok {
+					break
+				}
+				if (x == a && y == b) || (x == b && y == a) {
+					continue
+				}
+				if x == v || y == v {
+					continue // keep v's wedge intact
+				}
+				t := triangles(x, y)
+				if t < bestT {
+					bestT, bx, by = t, x, y
+				}
+				if t == 0 {
+					break
+				}
+			}
+			if bestT >= gain || bestT == 1<<30 {
+				continue // no profitable swap found this round
+			}
+			if addEdge(a, b) {
+				removeEdge(bx, by)
+			}
+		} else {
+			// Open triangles: delete (a,b) if it is triangle-heavy and add a
+			// random far-apart edge that closes none.
+			if !es.has(a, b) {
+				continue
+			}
+			loss := triangles(a, b)
+			if loss == 0 {
+				continue
+			}
+			var u, w int32
+			found := false
+			for s := 0; s < 8; s++ {
+				u = int32(rng.Intn(n))
+				w = int32(rng.Intn(n))
+				if u == w || es.has(u, w) {
+					continue
+				}
+				if triangles(u, w) == 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			removeEdge(a, b)
+			addEdge(u, w)
+		}
+	}
+
+	out := es.build(n, wc, rng)
+	return out, graph.ApproxAvgCC(out, 4000, seed+1)
+}

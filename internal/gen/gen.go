@@ -1,0 +1,251 @@
+// Package gen provides the synthetic graph generators that stand in for the
+// paper's datasets: an LFR benchmark implementation (the Table II workload),
+// Holme–Kim power-law-cluster graphs, R-MAT/Kronecker graphs (the
+// kron_g500 profile), Erdős–Rényi and planted-partition graphs, plus a
+// clustering-coefficient adjustment pass used to sweep average cc at a fixed
+// degree sequence. All generators are deterministic for a given seed.
+package gen
+
+import (
+	"math/rand"
+
+	"anyscan/internal/graph"
+)
+
+// WeightMode selects how edge weights are assigned.
+type WeightMode int
+
+// Weight modes.
+const (
+	// WeightUnit assigns weight 1 to every edge (the unweighted SCAN case).
+	WeightUnit WeightMode = iota
+	// WeightUniform draws weights uniformly from [WeightMin, WeightMax].
+	WeightUniform
+)
+
+// WeightConfig configures edge weights for any generator.
+type WeightConfig struct {
+	Mode     WeightMode
+	Min, Max float32
+}
+
+// weightFn returns a weight sampler for the config.
+func (wc WeightConfig) weightFn(rng *rand.Rand) func() float32 {
+	switch wc.Mode {
+	case WeightUniform:
+		lo, hi := wc.Min, wc.Max
+		if lo <= 0 {
+			lo = 0.5
+		}
+		if hi < lo {
+			hi = lo + 1
+		}
+		return func() float32 { return lo + rng.Float32()*(hi-lo) }
+	default:
+		return func() float32 { return 1 }
+	}
+}
+
+// edgeSet accumulates unique undirected edges.
+type edgeSet struct {
+	seen map[int64]struct{}
+	list [][2]int32
+}
+
+func newEdgeSet(capacity int) *edgeSet {
+	return &edgeSet{seen: make(map[int64]struct{}, capacity)}
+}
+
+func edgeKey(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// add inserts the edge if new, rejecting self loops. Reports insertion.
+func (s *edgeSet) add(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	k := edgeKey(u, v)
+	if _, dup := s.seen[k]; dup {
+		return false
+	}
+	s.seen[k] = struct{}{}
+	s.list = append(s.list, [2]int32{u, v})
+	return true
+}
+
+func (s *edgeSet) has(u, v int32) bool {
+	_, ok := s.seen[edgeKey(u, v)]
+	return ok
+}
+
+func (s *edgeSet) remove(u, v int32) {
+	delete(s.seen, edgeKey(u, v))
+	// list is rebuilt by callers that remove; kept append-only otherwise.
+}
+
+// build converts the edge set into a CSR with the given weights.
+func (s *edgeSet) build(n int, wc WeightConfig, rng *rand.Rand) *graph.CSR {
+	wf := wc.weightFn(rng)
+	var b graph.Builder
+	b.SetNumVertices(n)
+	for _, e := range s.list {
+		if _, ok := s.seen[edgeKey(e[0], e[1])]; ok {
+			b.AddEdge(e[0], e[1], wf())
+		}
+	}
+	return b.MustBuild()
+}
+
+// ErdosRenyi generates G(n, m): m distinct uniform edges.
+func ErdosRenyi(n int, m int64, wc WeightConfig, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	es := newEdgeSet(int(m))
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for int64(len(es.list)) < m {
+		es.add(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return es.build(n, wc, rng)
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches to m existing vertices chosen proportionally to degree.
+func BarabasiAlbert(n, m int, wc WeightConfig, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	es := newEdgeSet(n * m)
+	// repeated holds each vertex once per incident edge endpoint, so a
+	// uniform draw is degree-proportional.
+	repeated := make([]int32, 0, 2*n*m)
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for v := 0; v < start; v++ { // small clique seed
+		for u := 0; u < v; u++ {
+			if es.add(int32(u), int32(v)) {
+				repeated = append(repeated, int32(u), int32(v))
+			}
+		}
+	}
+	for v := start; v < n; v++ {
+		added := 0
+		for tries := 0; added < m && tries < 20*m; tries++ {
+			t := repeated[rng.Intn(len(repeated))]
+			if es.add(int32(v), t) {
+				repeated = append(repeated, int32(v), t)
+				added++
+			}
+		}
+	}
+	return es.build(n, wc, rng)
+}
+
+// HolmeKim generates a power-law-cluster graph: Barabási–Albert growth
+// where, after each preferential attachment, a triad-formation step closes a
+// triangle with probability pt. Raising pt raises the average clustering
+// coefficient at an unchanged average degree (≈ 2m), the knob the paper's
+// Table II cc sweep needs.
+func HolmeKim(n, m int, pt float64, wc WeightConfig, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	es := newEdgeSet(n * m)
+	adj := make([][]int32, n)
+	addEdge := func(u, v int32) bool {
+		if !es.add(u, v) {
+			return false
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		return true
+	}
+	repeated := make([]int32, 0, 2*n*m)
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for v := 0; v < start; v++ {
+		for u := 0; u < v; u++ {
+			if addEdge(int32(u), int32(v)) {
+				repeated = append(repeated, int32(u), int32(v))
+			}
+		}
+	}
+	for v := start; v < n; v++ {
+		var last int32 = -1
+		added := 0
+		for tries := 0; added < m && tries < 30*m; tries++ {
+			var t int32
+			if last >= 0 && rng.Float64() < pt && len(adj[last]) > 0 {
+				// Triad formation: attach to a random neighbor of the
+				// previously attached vertex.
+				t = adj[last][rng.Intn(len(adj[last]))]
+			} else {
+				t = repeated[rng.Intn(len(repeated))]
+			}
+			if addEdge(int32(v), t) {
+				repeated = append(repeated, int32(v), t)
+				last = t
+				added++
+			}
+		}
+	}
+	return es.build(n, wc, rng)
+}
+
+// RMAT generates a recursive-matrix (Kronecker-like) graph with 2^scale
+// vertices and approximately m undirected edges, using the standard
+// (a, b, c, d) quadrant probabilities. This is the stand-in for the paper's
+// kron_g500-logn21 dataset.
+func RMAT(scale int, m int64, a, b, c float64, wc WeightConfig, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	es := newEdgeSet(int(m))
+	attempts := int64(0)
+	maxAttempts := m * 20
+	for int64(len(es.list)) < m && attempts < maxAttempts {
+		attempts++
+		var u, v int32
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		es.add(u, v)
+	}
+	return es.build(n, wc, rng)
+}
+
+// PlantedPartition generates k communities of n/k vertices each, with edge
+// probability pIn inside communities and pOut across. Useful in tests where
+// the expected clustering is known.
+func PlantedPartition(n, k int, pIn, pOut float64, wc WeightConfig, seed int64) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	es := newEdgeSet(n * 4)
+	community := func(v int) int { return v * k / n }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pOut
+			if community(i) == community(j) {
+				p = pIn
+			}
+			if p > 0 && rng.Float64() < p {
+				es.add(int32(i), int32(j))
+			}
+		}
+	}
+	return es.build(n, wc, rng)
+}

@@ -1,0 +1,307 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"anyscan/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(500, 2000, WeightConfig{}, 1)
+	if g.NumVertices() != 500 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 2000 {
+		t.Fatalf("E = %d, want 2000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiCapsAtCompleteGraph(t *testing.T) {
+	g := ErdosRenyi(10, 1000, WeightConfig{}, 1)
+	if g.NumEdges() != 45 {
+		t.Fatalf("E = %d, want 45 (complete K10)", g.NumEdges())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := ErdosRenyi(200, 800, WeightConfig{Mode: WeightUniform, Min: 0.5, Max: 1.5}, 7)
+	b := ErdosRenyi(200, 800, WeightConfig{Mode: WeightUniform, Min: 0.5, Max: 1.5}, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge count")
+	}
+	for v := int32(0); v < 200; v++ {
+		aAdj, aW := a.Neighbors(v)
+		bAdj, bW := b.Neighbors(v)
+		for i := range aAdj {
+			if aAdj[i] != bAdj[i] || aW[i] != bW[i] {
+				t.Fatalf("same seed, different graphs at vertex %d", v)
+			}
+		}
+	}
+	c := ErdosRenyi(200, 800, WeightConfig{}, 8)
+	diff := false
+	for v := int32(0); v < 200 && !diff; v++ {
+		aAdj, _ := a.Neighbors(v)
+		cAdj, _ := c.Neighbors(v)
+		if len(aAdj) != len(cAdj) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical degree sequences (suspicious)")
+	}
+}
+
+func TestBarabasiAlbertDegrees(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, WeightConfig{}, 3)
+	s := graph.ComputeStats(g)
+	if s.AvgDegree < 6 || s.AvgDegree > 9 {
+		t.Errorf("BA avg degree = %v, want ≈8", s.AvgDegree)
+	}
+	// Preferential attachment: max degree far above average.
+	if float64(s.MaxDegree) < 4*s.AvgDegree {
+		t.Errorf("BA max degree %d not heavy-tailed (avg %.1f)", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestHolmeKimClusteringKnob(t *testing.T) {
+	lo := HolmeKim(3000, 5, 0.05, WeightConfig{}, 5)
+	hi := HolmeKim(3000, 5, 0.95, WeightConfig{}, 5)
+	ccLo := graph.ComputeStats(lo).AvgCC
+	ccHi := graph.ComputeStats(hi).AvgCC
+	if ccHi <= ccLo+0.05 {
+		t.Errorf("triad formation knob ineffective: cc(pt=0.05)=%v, cc(pt=0.95)=%v", ccLo, ccHi)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8000, 0.57, 0.19, 0.19, WeightConfig{}, 2)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("V = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() < 7000 {
+		t.Errorf("E = %d, want ≈8000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// R-MAT concentrates edges: degree distribution must be skewed.
+	s := graph.ComputeStats(g)
+	if float64(s.MaxDegree) < 3*s.AvgDegree {
+		t.Errorf("R-MAT degrees not skewed: max %d avg %.1f", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(300, 3, 0.4, 0.005, WeightConfig{}, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-community edges should dominate.
+	intra, inter := 0, 0
+	for v := int32(0); v < 300; v++ {
+		adj, _ := g.Neighbors(v)
+		for _, q := range adj {
+			if int(v)*3/300 == int(q)*3/300 {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	if intra < 5*inter {
+		t.Errorf("intra=%d inter=%d: partition structure too weak", intra, inter)
+	}
+}
+
+func TestSocialCircles(t *testing.T) {
+	g := SocialCircles(SocialCirclesConfig{
+		N: 2000, Regions: 5, CrossP: 0.05, CirclesPerV: 3, CircleSize: 30,
+		CircleSizeJit: 10, IntraP: 0.7, Seed: 6,
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.AvgCC < 0.3 {
+		t.Errorf("social circles cc = %v, want dense circles", s.AvgCC)
+	}
+	// Most edges must stay within a region.
+	intra := int64(0)
+	for v := int32(0); v < 2000; v++ {
+		adj, _ := g.Neighbors(v)
+		for _, q := range adj {
+			if int(v)*5/2000 == int(q)*5/2000 {
+				intra++
+			}
+		}
+	}
+	if intra*10 < g.NumArcs()*8 {
+		t.Errorf("only %d/%d arcs intra-region", intra, g.NumArcs())
+	}
+}
+
+func TestLFRBasics(t *testing.T) {
+	cfg := DefaultLFR(3000, 20, 9)
+	g, comm, err := LFR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(comm) != 3000 {
+		t.Fatalf("community labels: %d", len(comm))
+	}
+	s := graph.ComputeStats(g)
+	if math.Abs(s.AvgDegree-20) > 4 {
+		t.Errorf("avg degree = %v, want ≈20", s.AvgDegree)
+	}
+	if s.MaxDegree > cfg.MaxDegree+1 {
+		t.Errorf("max degree %d exceeds cap %d", s.MaxDegree, cfg.MaxDegree)
+	}
+	// Mixing: the intra fraction should be near 1-Mixing.
+	intra := int64(0)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		adj, _ := g.Neighbors(v)
+		for _, q := range adj {
+			if comm[v] == comm[q] {
+				intra++
+			}
+		}
+	}
+	frac := float64(intra) / float64(g.NumArcs())
+	if math.Abs(frac-(1-cfg.Mixing)) > 0.12 {
+		t.Errorf("intra fraction = %v, want ≈%v", frac, 1-cfg.Mixing)
+	}
+	// Community sizes within bounds (the fold-in of the remainder may
+	// exceed MaxCommunity by at most MinCommunity).
+	counts := map[int32]int{}
+	for _, c := range comm {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n > cfg.MaxCommunity+cfg.MinCommunity {
+			t.Errorf("community %d has %d members (max %d)", c, n, cfg.MaxCommunity)
+		}
+	}
+}
+
+func TestLFRMixingJitter(t *testing.T) {
+	cfg := DefaultLFR(2000, 20, 13)
+	cfg.Mixing = 0.5
+	cfg.MixingJitter = 0.45
+	g, comm, err := LFR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-vertex intra fractions must spread widely.
+	lo, hi := 0, 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		adj, _ := g.Neighbors(v)
+		if len(adj) < 8 {
+			continue
+		}
+		intra := 0
+		for _, q := range adj {
+			if comm[v] == comm[q] {
+				intra++
+			}
+		}
+		f := float64(intra) / float64(len(adj))
+		if f < 0.25 {
+			lo++
+		}
+		if f > 0.75 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Errorf("jitter produced no spread: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestLFRRejectsBadConfig(t *testing.T) {
+	if _, _, err := LFR(LFRConfig{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad := DefaultLFR(100, 10, 1)
+	bad.Mixing = 1.5
+	if _, _, err := LFR(bad); err == nil {
+		t.Error("mixing=1.5 accepted")
+	}
+}
+
+func TestAdjustCCRaisesAndLowers(t *testing.T) {
+	cfg := DefaultLFR(1500, 24, 21)
+	g, _, err := LFR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := graph.ComputeStats(g).AvgCC
+	up, _ := AdjustCC(g, base+0.15, 0.02, 300000, WeightConfig{}, 5)
+	ccUp := graph.ComputeStats(up).AvgCC
+	if ccUp < base+0.08 {
+		t.Errorf("AdjustCC up: %v → %v (wanted +0.15)", base, ccUp)
+	}
+	if up.NumEdges() != g.NumEdges() {
+		t.Errorf("edge count changed: %d → %d", g.NumEdges(), up.NumEdges())
+	}
+	down, _ := AdjustCC(g, base-0.1, 0.02, 300000, WeightConfig{}, 5)
+	ccDown := graph.ComputeStats(down).AvgCC
+	if ccDown > base-0.04 {
+		t.Errorf("AdjustCC down: %v → %v (wanted -0.1)", base, ccDown)
+	}
+	if down.NumEdges() != g.NumEdges() {
+		t.Errorf("edge count changed: %d → %d", g.NumEdges(), down.NumEdges())
+	}
+}
+
+func TestWeightConfigs(t *testing.T) {
+	g := ErdosRenyi(100, 400, WeightConfig{Mode: WeightUniform, Min: 0.5, Max: 1.5}, 3)
+	for v := int32(0); v < 100; v++ {
+		_, wts := g.Neighbors(v)
+		for _, w := range wts {
+			if w < 0.5 || w > 1.5 {
+				t.Fatalf("weight %v outside [0.5, 1.5]", w)
+			}
+		}
+	}
+	u := ErdosRenyi(100, 400, WeightConfig{}, 3)
+	for v := int32(0); v < 100; v++ {
+		_, wts := u.Neighbors(v)
+		for _, w := range wts {
+			if w != 1 {
+				t.Fatalf("unit weight config produced %v", w)
+			}
+		}
+	}
+}
+
+// Property: every generator family produces structurally valid graphs.
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		if ErdosRenyi(100, 300, WeightConfig{}, seed).Validate() != nil {
+			return false
+		}
+		if HolmeKim(150, 3, 0.5, WeightConfig{}, seed).Validate() != nil {
+			return false
+		}
+		if RMAT(7, 400, 0.5, 0.2, 0.2, WeightConfig{}, seed).Validate() != nil {
+			return false
+		}
+		g, _, err := LFR(DefaultLFR(400, 12, seed))
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"anyscan/internal/graph"
+)
+
+// LFRConfig parameterizes the LFR benchmark (Lancichinetti, Fortunato,
+// Radicchi 2008), the generator behind the paper's Table II. Degrees follow
+// a power law with exponent DegreeExp truncated to [kmin, MaxDegree] (kmin is
+// solved so the mean matches AvgDegree); community sizes follow a power law
+// with exponent CommunityExp on [MinCommunity, MaxCommunity]; each vertex
+// spends a (1-Mixing) fraction of its degree inside its community.
+type LFRConfig struct {
+	N            int
+	AvgDegree    float64
+	MaxDegree    int
+	DegreeExp    float64 // τ1, typically 2–3
+	CommunityExp float64 // τ2, typically 1–2
+	Mixing       float64 // μ_mix ∈ [0,1): fraction of inter-community stubs
+	// MixingJitter spreads the mixing per vertex uniformly over
+	// [Mixing-J, Mixing+J] (clamped to [0, 0.95]). Real networks are
+	// heterogeneous: some vertices sit deep inside their community, others
+	// mostly bridge. 0 reproduces the classic LFR behaviour.
+	MixingJitter float64
+	MinCommunity int
+	MaxCommunity int
+	Weights      WeightConfig
+	Seed         int64
+}
+
+// DefaultLFR mirrors the paper's Table II profile at a reduced scale:
+// maximum degree 100, τ1=2, τ2=1, mixing 0.2.
+func DefaultLFR(n int, avgDegree float64, seed int64) LFRConfig {
+	return LFRConfig{
+		N:            n,
+		AvgDegree:    avgDegree,
+		MaxDegree:    100,
+		DegreeExp:    2,
+		CommunityExp: 1,
+		Mixing:       0.2,
+		MinCommunity: 40,
+		MaxCommunity: 120,
+		Seed:         seed,
+	}
+}
+
+// LFR generates the benchmark graph and returns it together with the ground
+// truth community of each vertex.
+func LFR(cfg LFRConfig) (*graph.CSR, []int32, error) {
+	if cfg.N <= 0 {
+		return nil, nil, fmt.Errorf("gen: LFR needs N > 0")
+	}
+	if cfg.MaxDegree <= 1 {
+		cfg.MaxDegree = 100
+	}
+	if cfg.MaxDegree >= cfg.N {
+		cfg.MaxDegree = cfg.N - 1
+	}
+	if cfg.Mixing < 0 || cfg.Mixing >= 1 {
+		return nil, nil, fmt.Errorf("gen: LFR mixing must be in [0,1), got %v", cfg.Mixing)
+	}
+	if cfg.MinCommunity <= 0 {
+		cfg.MinCommunity = 20
+	}
+	if cfg.MaxCommunity < cfg.MinCommunity {
+		cfg.MaxCommunity = cfg.MinCommunity * 10
+	}
+	if cfg.MaxCommunity > cfg.N {
+		cfg.MaxCommunity = cfg.N
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	degrees := powerLawDegrees(cfg.N, cfg.AvgDegree, cfg.MaxDegree, cfg.DegreeExp, rng)
+
+	// Community sizes: power-law sizes until every vertex has a home.
+	var sizes []int
+	total := 0
+	for total < cfg.N {
+		s := powerLawInt(cfg.MinCommunity, cfg.MaxCommunity, cfg.CommunityExp, rng)
+		if total+s > cfg.N {
+			s = cfg.N - total
+			if s < cfg.MinCommunity && len(sizes) > 0 {
+				// Fold the remainder into the last community.
+				sizes[len(sizes)-1] += s
+				total += s
+				break
+			}
+		}
+		sizes = append(sizes, s)
+		total += s
+	}
+
+	// Internal degrees; a vertex must fit inside its community.
+	internal := make([]int, cfg.N)
+	for v := 0; v < cfg.N; v++ {
+		mix := cfg.Mixing
+		if cfg.MixingJitter > 0 {
+			mix += (2*rng.Float64() - 1) * cfg.MixingJitter
+			if mix < 0 {
+				mix = 0
+			}
+			if mix > 0.95 {
+				mix = 0.95
+			}
+		}
+		internal[v] = int(math.Round(float64(degrees[v]) * (1 - mix)))
+		if internal[v] > degrees[v] {
+			internal[v] = degrees[v]
+		}
+	}
+
+	// Assign vertices to communities: process high-internal-degree vertices
+	// first into the larger remaining communities.
+	comm := make([]int32, cfg.N)
+	orderV := make([]int, cfg.N)
+	for i := range orderV {
+		orderV[i] = i
+	}
+	sort.Slice(orderV, func(i, j int) bool { return internal[orderV[i]] > internal[orderV[j]] })
+	type slot struct{ id, capacity int }
+	slots := make([]slot, len(sizes))
+	for i, s := range sizes {
+		slots[i] = slot{i, s}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].capacity > slots[j].capacity })
+	si := 0
+	for _, v := range orderV {
+		// Find a community that can host v (internal degree < size).
+		placed := false
+		for tries := 0; tries < len(slots); tries++ {
+			s := &slots[(si+tries)%len(slots)]
+			if s.capacity > 0 && internal[v] < sizes[s.id] {
+				comm[v] = int32(s.id)
+				s.capacity--
+				placed = true
+				si = (si + tries + 1) % len(slots)
+				break
+			}
+		}
+		if !placed {
+			// Clamp the internal degree and drop into any open community.
+			for i := range slots {
+				if slots[i].capacity > 0 {
+					comm[v] = int32(slots[i].id)
+					slots[i].capacity--
+					if internal[v] >= sizes[slots[i].id] {
+						internal[v] = sizes[slots[i].id] - 1
+					}
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, nil, fmt.Errorf("gen: LFR could not place vertex %d", v)
+			}
+		}
+	}
+
+	es := newEdgeSet(cfg.N * int(cfg.AvgDegree) / 2)
+
+	// Intra-community configuration model.
+	members := make([][]int32, len(sizes))
+	for v := 0; v < cfg.N; v++ {
+		members[comm[v]] = append(members[comm[v]], int32(v))
+	}
+	for _, ms := range members {
+		var stubs []int32
+		for _, v := range ms {
+			for i := 0; i < internal[v]; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		wireStubs(stubs, es, rng, nil)
+	}
+
+	// Inter-community configuration model, rejecting intra pairs.
+	var stubs []int32
+	for v := 0; v < cfg.N; v++ {
+		for i := 0; i < degrees[v]-internal[v]; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	wireStubs(stubs, es, rng, func(a, b int32) bool { return comm[a] != comm[b] })
+
+	g := es.build(cfg.N, cfg.Weights, rng)
+	return g, comm, nil
+}
+
+// wireStubs pairs stubs uniformly at random, skipping self loops, duplicate
+// edges and pairs rejected by accept (nil accepts all). Unmatched leftovers
+// are dropped, as in standard LFR rewiring implementations.
+func wireStubs(stubs []int32, es *edgeSet, rng *rand.Rand, accept func(a, b int32) bool) {
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	// Repeated passes: pair adjacent stubs; failures get reshuffled.
+	pending := stubs
+	for pass := 0; pass < 8 && len(pending) > 1; pass++ {
+		var failed []int32
+		for i := 0; i+1 < len(pending); i += 2 {
+			a, b := pending[i], pending[i+1]
+			if a == b || (accept != nil && !accept(a, b)) || !es.add(a, b) {
+				failed = append(failed, a, b)
+			}
+		}
+		if len(pending)%2 == 1 {
+			failed = append(failed, pending[len(pending)-1])
+		}
+		pending = failed
+		rng.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+	}
+}
+
+// powerLawDegrees samples n degrees from a truncated power law with the
+// given exponent and maximum, numerically solving the lower cutoff so the
+// mean is close to avg. The total is forced even (configuration model).
+func powerLawDegrees(n int, avg float64, maxDeg int, exp float64, rng *rand.Rand) []int {
+	if avg < 1 {
+		avg = 1
+	}
+	if avg > float64(maxDeg) {
+		avg = float64(maxDeg)
+	}
+	lo, hi := 1.0, float64(maxDeg)
+	var kmin float64
+	for iter := 0; iter < 60; iter++ {
+		kmin = (lo + hi) / 2
+		if powerLawMean(kmin, float64(maxDeg), exp) < avg {
+			lo = kmin
+		} else {
+			hi = kmin
+		}
+	}
+	degrees := make([]int, n)
+	sum := 0
+	for i := range degrees {
+		d := int(math.Round(powerLawSample(kmin, float64(maxDeg), exp, rng)))
+		if d < 1 {
+			d = 1
+		}
+		if d > maxDeg {
+			d = maxDeg
+		}
+		if d >= n {
+			d = n - 1
+		}
+		degrees[i] = d
+		sum += d
+	}
+	if sum%2 == 1 {
+		degrees[0]++
+	}
+	return degrees
+}
+
+// powerLawMean returns E[X] for the continuous power law p(x) ∝ x^(-exp) on
+// [kmin, kmax].
+func powerLawMean(kmin, kmax, exp float64) float64 {
+	if exp == 2 {
+		return (math.Log(kmax) - math.Log(kmin)) / (1/kmin - 1/kmax)
+	}
+	a1 := 1 - exp
+	a2 := 2 - exp
+	norm := (math.Pow(kmax, a1) - math.Pow(kmin, a1)) / a1
+	m1 := (math.Pow(kmax, a2) - math.Pow(kmin, a2)) / a2
+	return m1 / norm
+}
+
+// powerLawSample draws from the continuous truncated power law by inverse
+// CDF.
+func powerLawSample(kmin, kmax, exp float64, rng *rand.Rand) float64 {
+	u := rng.Float64()
+	if exp == 1 {
+		return kmin * math.Pow(kmax/kmin, u)
+	}
+	a := 1 - exp
+	x := math.Pow(u*(math.Pow(kmax, a)-math.Pow(kmin, a))+math.Pow(kmin, a), 1/a)
+	return x
+}
+
+// powerLawInt samples an integer from the truncated power law on [lo, hi].
+func powerLawInt(lo, hi int, exp float64, rng *rand.Rand) int {
+	v := int(math.Round(powerLawSample(float64(lo), float64(hi), exp, rng)))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math/rand"
+
+	"anyscan/internal/graph"
+)
+
+// SocialCirclesConfig parameterizes the ego-network-like generator used as
+// the stand-in for the paper's ego-Gplus dataset (GR01): a graph formed as a
+// union of overlapping dense "circles" (friend groups), yielding the high
+// average degree and high clustering coefficient typical of ego networks.
+//
+// Vertices are partitioned into Regions communities; circles draw their
+// members from one region (with a small CrossP chance of spanning two), so
+// the graph has several well-separated dense clusters bridged by a few
+// cross-region vertices — the hub/outlier structure SCAN looks for.
+type SocialCirclesConfig struct {
+	N             int     // vertices
+	Regions       int     // hard community regions (0 → 16)
+	CrossP        float64 // probability a circle spans two regions
+	CirclesPerV   float64 // average number of circles each vertex joins
+	CircleSize    int     // average circle size
+	CircleSizeJit int     // ± jitter on circle size
+	IntraP        float64 // edge probability inside a circle
+	Weights       WeightConfig
+	Seed          int64
+}
+
+// SocialCircles generates the overlapping-circles graph. Average degree is
+// approximately CirclesPerV · (CircleSize-1) · IntraP, and the clustering
+// coefficient is close to IntraP for vertices dominated by one circle.
+func SocialCircles(cfg SocialCirclesConfig) *graph.CSR {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.CircleSize < 2 {
+		cfg.CircleSize = 2
+	}
+	if cfg.Regions <= 0 {
+		cfg.Regions = 16
+	}
+	if cfg.Regions > cfg.N {
+		cfg.Regions = cfg.N
+	}
+	numCircles := int(float64(cfg.N) * cfg.CirclesPerV / float64(cfg.CircleSize))
+	if numCircles < 1 {
+		numCircles = 1
+	}
+	regionBounds := func(r int) (int32, int32) {
+		lo := int32(r * cfg.N / cfg.Regions)
+		hi := int32((r + 1) * cfg.N / cfg.Regions)
+		return lo, hi
+	}
+
+	es := newEdgeSet(cfg.N * 8)
+	for c := 0; c < numCircles; c++ {
+		size := cfg.CircleSize
+		if cfg.CircleSizeJit > 0 {
+			size += rng.Intn(2*cfg.CircleSizeJit+1) - cfg.CircleSizeJit
+		}
+		if size < 2 {
+			size = 2
+		}
+		// Pick the home region; occasionally a circle spans two regions.
+		// Cross circles are smaller and weaker than home circles, so they
+		// produce hub/bridge vertices without density-connecting the two
+		// regions into one cluster.
+		r1 := rng.Intn(cfg.Regions)
+		r2 := r1
+		intraP := cfg.IntraP
+		if rng.Float64() < cfg.CrossP && cfg.Regions > 1 {
+			for r2 == r1 {
+				r2 = rng.Intn(cfg.Regions)
+			}
+			size /= 2
+			if size < 4 {
+				size = 4
+			}
+			intraP *= 0.35
+		}
+		members := make([]int32, 0, size)
+		for len(members) < size {
+			r := r1
+			if r2 != r1 && len(members)%4 == 3 { // ~25% of a cross circle
+				r = r2
+			}
+			lo, hi := regionBounds(r)
+			if hi <= lo {
+				continue
+			}
+			members = append(members, lo+int32(rng.Intn(int(hi-lo))))
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < intraP {
+					es.add(members[i], members[j])
+				}
+			}
+		}
+	}
+	return es.build(cfg.N, cfg.Weights, rng)
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the loaders must never panic and every successfully parsed
+// graph must satisfy the CSR invariants. (Run with `go test -fuzz`; the
+// seed corpus also executes under plain `go test`.)
+
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n1 2 0.5\n")
+	f.Add("0 0\n")
+	f.Add("-1 5\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("1 2 nan\n1 2 inf\n")
+	f.Add("a b c d e\n")
+	f.Add("1\t2\t3\t4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, remap := range []bool{false, true} {
+			g, _, err := LoadEdgeList(strings.NewReader(input), LoadOptions{Remap: remap})
+			if err != nil {
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("accepted invalid graph (remap=%v): %v\ninput: %q", remap, err, input)
+			}
+		}
+	})
+}
+
+func FuzzLoadMETIS(f *testing.F) {
+	f.Add("3 2\n2\n1 3\n2\n")
+	f.Add("3 3 001\n2 1 3 1\n1 1 3 1\n1 1 2 1\n")
+	f.Add("% c\n1 0\n\n")
+	f.Add("2 1 011 2\n1 1 2 1\n1 1 1 1\n")
+	f.Add("0 0\n")
+	f.Add("1 1\n1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadMETIS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := randomGraphWeighted(20, 50, 1)
+	if err := g.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("garbage"))
+	truncHeader := append([]byte(nil), valid[:10]...)
+	f.Add(truncHeader)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid binary graph: %v", err)
+		}
+	})
+}

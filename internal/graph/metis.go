@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadMETIS parses a graph in the METIS/Chaco format used throughout the
+// graph partitioning and clustering ecosystem: a header line
+// "n m [fmt [ncon]]" followed by one line per vertex listing its 1-indexed
+// neighbors, with edge weights interleaved when fmt enables them (bit 1,
+// i.e. "1" or "001" or "011") and ncon vertex weights prefixed when fmt has
+// bit 2 ("10"/"11"). Vertex weights are parsed and discarded (SCAN
+// semantics only use edge weights). Comment lines start with '%'.
+func LoadMETIS(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || line[0] == '%' {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	header, ok := nextLine()
+	if !ok {
+		return nil, fmt.Errorf("graph: METIS input empty")
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: METIS header needs 'n m', got %q", header)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: bad METIS vertex count %q", fields[0])
+	}
+	m, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: bad METIS edge count %q", fields[1])
+	}
+	hasEdgeWeights := false
+	hasVertexWeights := false
+	ncon := 0
+	if len(fields) >= 3 {
+		f := fields[2]
+		if len(f) > 3 {
+			return nil, fmt.Errorf("graph: bad METIS fmt %q", f)
+		}
+		for _, c := range f {
+			if c != '0' && c != '1' {
+				return nil, fmt.Errorf("graph: bad METIS fmt %q", f)
+			}
+		}
+		// Right-most bit: edge weights; next: vertex weights.
+		hasEdgeWeights = strings.HasSuffix(f, "1")
+		if len(f) >= 2 && f[len(f)-2] == '1' {
+			hasVertexWeights = true
+			ncon = 1
+		}
+	}
+	if len(fields) >= 4 && hasVertexWeights {
+		ncon, err = strconv.Atoi(fields[3])
+		if err != nil || ncon < 1 {
+			return nil, fmt.Errorf("graph: bad METIS ncon %q", fields[3])
+		}
+	}
+
+	var b Builder
+	b.SetNumVertices(n)
+	for v := 0; v < n; v++ {
+		line, ok := nextLine()
+		if !ok {
+			return nil, fmt.Errorf("graph: METIS input ends at vertex %d of %d", v+1, n)
+		}
+		toks := strings.Fields(line)
+		i := ncon // skip vertex weights
+		if i > len(toks) {
+			return nil, fmt.Errorf("graph: METIS vertex %d: missing vertex weights", v+1)
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: METIS vertex %d: bad neighbor %q", v+1, toks[i])
+			}
+			if u < 1 || u > n {
+				return nil, fmt.Errorf("graph: METIS vertex %d: neighbor %d out of range 1..%d", v+1, u, n)
+			}
+			i++
+			w := float32(1)
+			if hasEdgeWeights {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("graph: METIS vertex %d: neighbor %d missing edge weight", v+1, u)
+				}
+				wf, err := strconv.ParseFloat(toks[i], 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: METIS vertex %d: bad edge weight %q", v+1, toks[i])
+				}
+				w = float32(wf)
+				i++
+			}
+			b.AddEdge(int32(v), int32(u-1), w)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: METIS header declares %d edges, adjacency encodes %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// WriteMETIS writes the graph in METIS format with edge weights (fmt 001).
+func (g *CSR) WriteMETIS(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := g.NumVertices()
+	fmt.Fprintf(bw, "%% anyscan METIS export\n%d %d 001\n", n, g.NumEdges())
+	for v := int32(0); v < int32(n); v++ {
+		adj, wts := g.Neighbors(v)
+		for i, q := range adj {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d %g", q+1, wts[i])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

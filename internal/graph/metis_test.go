@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadMETISUnweighted(t *testing.T) {
+	// Triangle plus a pendant (the METIS manual's style of example).
+	input := `% a comment
+4 4
+2 3
+1 3 4
+1 2
+2
+`
+	g, err := LoadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(1, 2) || !g.HasEdge(1, 3) {
+		t.Fatal("edges missing")
+	}
+	if w := g.EdgeWeight(0, 1); w != 1 {
+		t.Fatalf("weight = %v, want 1", w)
+	}
+}
+
+func TestLoadMETISEdgeWeights(t *testing.T) {
+	input := `3 3 001
+2 2.5 3 1
+1 2.5 3 4
+1 1 2 4
+`
+	g, err := LoadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeWeight(0, 1) != 2.5 || g.EdgeWeight(1, 2) != 4 || g.EdgeWeight(0, 2) != 1 {
+		t.Fatalf("weights wrong: %v %v %v", g.EdgeWeight(0, 1), g.EdgeWeight(1, 2), g.EdgeWeight(0, 2))
+	}
+}
+
+func TestLoadMETISVertexWeights(t *testing.T) {
+	// fmt=011: vertex weights (discarded) + edge weights.
+	input := `3 2 011 2
+7 8 2 1.5
+1 1 1 1.5 3 2
+9 9 2 2
+`
+	g, err := LoadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	if g.EdgeWeight(0, 1) != 1.5 || g.EdgeWeight(1, 2) != 2 {
+		t.Fatalf("weights wrong")
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := randomGraphWeighted(120, 600, 3)
+	var buf bytes.Buffer
+	if err := g.WriteMETIS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestLoadMETISErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"3",                 // short header
+		"x 3",               // bad n
+		"3 y",               // bad m
+		"2 1 002",           // bad fmt digit... actually '2' invalid
+		"2 1\n2\n",          // truncated adjacency
+		"2 1\n3\n1\n",       // neighbor out of range
+		"2 1 001\n2\n1 1\n", // missing edge weight on vertex 1
+		"2 5\n2\n1\n",       // edge count mismatch
+	}
+	for _, in := range cases {
+		if _, err := LoadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestLoadMETISSelfLoopIgnored(t *testing.T) {
+	// Some exporters include self loops; the builder drops them.
+	input := `2 1
+1 2
+1 2
+`
+	g, err := LoadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.HasEdge(0, 0) {
+		t.Fatalf("self loop handling wrong: E=%d", g.NumEdges())
+	}
+}

@@ -1,0 +1,61 @@
+package graph
+
+// InducedSubgraph returns the subgraph induced by the given vertices (which
+// need not be sorted or unique) and the mapping from new dense ids back to
+// the original ones. Edge weights are preserved. A common preprocessing
+// step: cluster only the giant component, or zoom into one community.
+func InducedSubgraph(g *CSR, vertices []int32) (*CSR, []int32, error) {
+	n := g.NumVertices()
+	toNew := make([]int32, n)
+	for i := range toNew {
+		toNew[i] = -1
+	}
+	var orig []int32
+	for _, v := range vertices {
+		if v < 0 || int(v) >= n {
+			continue
+		}
+		if toNew[v] < 0 {
+			toNew[v] = int32(len(orig))
+			orig = append(orig, v)
+		}
+	}
+	var b Builder
+	b.SetNumVertices(len(orig))
+	for newU, u := range orig {
+		adj, wts := g.Neighbors(u)
+		for i, q := range adj {
+			if nq := toNew[q]; nq >= 0 && u < q {
+				b.AddEdge(int32(newU), nq, wts[i])
+			}
+		}
+	}
+	sub, err := b.Build()
+	return sub, orig, err
+}
+
+// LargestComponent returns the induced subgraph of g's largest connected
+// component and the original id of each vertex in it.
+func LargestComponent(g *CSR) (*CSR, []int32, error) {
+	comps, labels := ConnectedComponents(g)
+	if comps == 0 {
+		return empty(), nil, nil
+	}
+	sizes := make([]int, comps)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	var members []int32
+	for v, l := range labels {
+		if int(l) == best {
+			members = append(members, int32(v))
+		}
+	}
+	return InducedSubgraph(g, members)
+}

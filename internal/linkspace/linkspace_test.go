@@ -1,0 +1,158 @@
+package linkspace
+
+import (
+	"testing"
+
+	"anyscan/internal/gen"
+	"anyscan/internal/graph"
+	"anyscan/internal/testutil"
+)
+
+// bowtie: two triangles sharing vertex 2 — the canonical overlapping case.
+// Vertex partitioning puts 2 in one community (or makes it a hub); link
+// communities put it in both.
+func bowtie(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := graph.FromUnweightedEdges(5, [][2]int32{
+		{0, 1}, {0, 2}, {1, 2},
+		{2, 3}, {2, 4}, {3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBowtieOverlap(t *testing.T) {
+	o, err := Communities(bowtie(t), Options{Mu: 2, Eps: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumCommunities != 2 {
+		t.Fatalf("want 2 link communities, got %d", o.NumCommunities)
+	}
+	if got := o.OverlapDegree(2); got != 2 {
+		t.Fatalf("shared vertex overlap degree = %d, want 2 (memberships %v)", got, o.Memberships[2])
+	}
+	for _, v := range []int32{0, 1, 3, 4} {
+		if got := o.OverlapDegree(v); got != 1 {
+			t.Errorf("vertex %d overlap degree = %d, want 1", v, got)
+		}
+	}
+	if o.Memberships[0][0] == o.Memberships[3][0] {
+		t.Errorf("the two triangles landed in one community")
+	}
+}
+
+func TestLinkGraphShape(t *testing.T) {
+	g := bowtie(t)
+	o, err := Communities(g, Options{Mu: 2, Eps: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Edges) != int(g.NumEdges()) {
+		t.Fatalf("link nodes = %d, want %d", len(o.Edges), g.NumEdges())
+	}
+	// Every pair of edges sharing an endpoint must be adjacent in L(G):
+	// Σ_v d(v)(d(v)-1)/2 = (2·1 ×4 + 4·3)/2... compute directly.
+	want := int64(0)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		d := int64(g.Degree(v))
+		want += d * (d - 1) / 2
+	}
+	if o.LinkGraph.NumEdges() != want {
+		t.Fatalf("link edges = %d, want %d", o.LinkGraph.NumEdges(), want)
+	}
+	if err := o.LinkGraph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembershipsConsistentWithEdgeCommunities(t *testing.T) {
+	g := gen.PlantedPartition(120, 3, 0.4, 0.02, gen.WeightConfig{}, 5)
+	o, err := Communities(g, Options{Mu: 3, Eps: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every labeled edge's community must appear in both endpoints'
+	// membership lists, and vice versa.
+	has := func(list []int32, l int32) bool {
+		for _, x := range list {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[int32]map[int32]bool) // vertex → labels from edges
+	for i, e := range o.Edges {
+		l := o.EdgeCommunity[i]
+		if l < 0 {
+			continue
+		}
+		for _, v := range []int32{e[0], e[1]} {
+			if !has(o.Memberships[v], l) {
+				t.Fatalf("edge %v community %d missing from vertex %d memberships", e, l, v)
+			}
+			if seen[v] == nil {
+				seen[v] = map[int32]bool{}
+			}
+			seen[v][l] = true
+		}
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, l := range o.Memberships[v] {
+			if !seen[v][l] {
+				t.Fatalf("vertex %d claims community %d without an incident edge there", v, l)
+			}
+		}
+	}
+}
+
+func TestHubCapBoundsLinkGraph(t *testing.T) {
+	// A star with a huge hub: without the cap the link graph would have
+	// d(d-1)/2 ≈ 2M edges; with it, growth is linear in the cap.
+	var b graph.Builder
+	hubDeg := int32(2000)
+	for i := int32(1); i <= hubDeg; i++ {
+		b.AddEdgeUnweighted(0, i)
+	}
+	g := b.MustBuild()
+	o, err := Communities(g, Options{Mu: 2, Eps: 0.2, MaxLinkDegree: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LinkGraph.NumEdges() > 32*32 {
+		t.Fatalf("hub cap ineffective: %d link edges", o.LinkGraph.NumEdges())
+	}
+}
+
+func TestKarateOverlaps(t *testing.T) {
+	g := testutil.Karate()
+	o, err := Communities(g, Options{Mu: 3, Eps: 0.65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumCommunities < 2 {
+		t.Fatalf("karate should split into ≥2 link communities, got %d", o.NumCommunities)
+	}
+	overlapping := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if o.OverlapDegree(v) >= 2 {
+			overlapping++
+		}
+	}
+	if overlapping == 0 {
+		t.Fatal("no overlapping members found in karate club")
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	g := bowtie(t)
+	if _, err := Communities(g, Options{Mu: 0, Eps: 0.5}); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := Communities(g, Options{Mu: 2, Eps: 0}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package mapreduce
+
+import (
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/graph"
+	"anyscan/internal/simeval"
+)
+
+// PSCANMR is a MapReduce formulation of SCAN in the spirit of PSCAN (Zhao
+// et al., AINA 2013): similarity evaluation and core detection are one
+// map/reduce round each, and cluster formation runs as iterative min-label
+// propagation — one round per step of the label diffusion, the standard
+// MapReduce connected-components pattern. It is exact, but pays for its
+// distributed structure with O(diameter) synchronization rounds and a
+// shuffled message per similar edge per round; Metrics exposes those costs
+// so the shared-memory-vs-distributed argument of the paper's Section V is
+// measurable.
+func PSCANMR(g *graph.CSR, mu int, eps float64, workers int) (*cluster.Result, Stats, time.Duration) {
+	start := time.Now()
+	n := g.NumVertices()
+	job := NewJob(workers)
+	eng := simeval.New(g, eps, simeval.AllOptimizations)
+
+	// Round 1 — similarity: mappers evaluate σ for the edges of their
+	// vertices (from the smaller endpoint) and emit one message per similar
+	// edge to each endpoint; reducers build per-vertex similar-neighbor
+	// lists.
+	type adjOut struct {
+		v       int32
+		similar []int32
+	}
+	vertices := make([]int32, n)
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	adjOuts := Round(job, vertices,
+		func(v int32, emit func(int32, int32)) {
+			lo, hi := g.NeighborRange(v)
+			for e := lo; e < hi; e++ {
+				q, w := g.Arc(e)
+				if v < q && eng.SimilarEdge(v, q, w) {
+					emit(v, q)
+					emit(q, v)
+				}
+			}
+		},
+		func(v int32, sims []int32) adjOut { return adjOut{v, sims} },
+	)
+	simAdj := make([][]int32, n)
+	isCore := make([]bool, n)
+	for _, a := range adjOuts {
+		simAdj[a.v] = a.similar
+		isCore[a.v] = len(a.similar)+1 >= mu
+	}
+	// Vertices with zero similar neighbors never appear in the shuffle.
+	if mu <= 1 {
+		for v := range isCore {
+			isCore[v] = true
+		}
+	}
+
+	// Rounds 2..k — min-label propagation over the core-core similar graph:
+	// every core starts with its own id and repeatedly exchanges the
+	// smallest label seen with its similar core neighbors until no label
+	// changes (the fixpoint is detected with one extra round, as a driver
+	// polling counters would).
+	label := make([]int32, n)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	type lblOut struct {
+		v   int32
+		min int32
+	}
+	for {
+		changed := false
+		outs := Round(job, vertices,
+			func(v int32, emit func(int32, int32)) {
+				if !isCore[v] {
+					return
+				}
+				emit(v, label[v]) // keep own label in play
+				for _, q := range simAdj[v] {
+					if isCore[q] {
+						emit(q, label[v])
+					}
+				}
+			},
+			func(v int32, labels []int32) lblOut {
+				min := labels[0]
+				for _, l := range labels[1:] {
+					if l < min {
+						min = l
+					}
+				}
+				return lblOut{v, min}
+			},
+		)
+		for _, o := range outs {
+			if isCore[o.v] && o.min < label[o.v] {
+				label[o.v] = o.min
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final round — borders: non-cores adopt the label of a similar core.
+	type borderOut struct {
+		v   int32
+		lbl int32
+	}
+	borderOuts := Round(job, vertices,
+		func(v int32, emit func(int32, int32)) {
+			if !isCore[v] {
+				return
+			}
+			for _, q := range simAdj[v] {
+				if !isCore[q] {
+					emit(q, label[v])
+				}
+			}
+		},
+		func(v int32, labels []int32) borderOut {
+			min := labels[0]
+			for _, l := range labels[1:] {
+				if l < min {
+					min = l
+				}
+			}
+			return borderOut{v, min}
+		},
+	)
+
+	res := cluster.NewResult(n)
+	for v := int32(0); v < int32(n); v++ {
+		if isCore[v] {
+			res.Roles[v] = cluster.Core
+			res.Labels[v] = label[v]
+		}
+	}
+	for _, o := range borderOuts {
+		res.Roles[o.v] = cluster.Border
+		res.Labels[o.v] = o.lbl
+	}
+	cluster.ClassifyNoise(g, res)
+	res.Canonicalize()
+	return res, job.Stats, time.Since(start)
+}

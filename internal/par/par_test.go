@@ -1,0 +1,88 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, 8, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const n, workers = 500, 4
+	var bad atomic.Int32
+	counts := make([]int64, workers)
+	ForWorker(n, workers, 4, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+			return
+		}
+		atomic.AddInt64(&counts[w], 1)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d out-of-range worker ids", bad.Load())
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total iterations %d, want %d", total, n)
+	}
+}
+
+func TestForSequentialIsInline(t *testing.T) {
+	// workers=1 must execute on the calling goroutine, in order.
+	var order []int
+	For(10, 1, 3, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestForDefaults(t *testing.T) {
+	var count atomic.Int64
+	For(100, 0, 0, func(i int) { count.Add(1) }) // workers/grain defaults
+	if count.Load() != 100 {
+		t.Fatalf("count = %d", count.Load())
+	}
+	ForWorker(100, 0, 0, func(w, i int) { count.Add(1) })
+	if count.Load() != 200 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+// Property: a parallel sum equals the sequential sum for any n/workers/grain.
+func TestForSumProperty(t *testing.T) {
+	f := func(nRaw uint16, workersRaw, grainRaw uint8) bool {
+		n := int(nRaw) % 2000
+		workers := int(workersRaw)%8 + 1
+		grain := int(grainRaw)%50 + 1
+		var sum atomic.Int64
+		For(n, workers, grain, func(i int) { sum.Add(int64(i)) })
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		return sum.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package scan
+
+import (
+	"time"
+
+	"anyscan/internal/graph"
+	"anyscan/internal/par"
+	"anyscan/internal/simeval"
+)
+
+// Ideal runs the paper's "ideal parallel algorithm" (Fig. 11): it evaluates
+// the structural similarity of every edge of G — the dominant cost of SCAN —
+// with no optimizations, no label propagation and no synchronization beyond
+// the final barrier, so its scalability is the best any parallel SCAN
+// variant could hope for. It returns only work metrics; it does not cluster.
+func Ideal(g *graph.CSR, eps float64, threads int) Metrics {
+	start := time.Now()
+	eng := simeval.New(g, eps, simeval.Options{})
+	n := g.NumVertices()
+	// One similarity per undirected edge, processed from the smaller
+	// endpoint; vertices are the parallel units (dynamic scheduling), as the
+	// neighborhood sizes vary wildly.
+	par.For(n, threads, 16, func(i int) {
+		v := int32(i)
+		lo, hi := g.NeighborRange(v)
+		for e := lo; e < hi; e++ {
+			q, w := g.Arc(e)
+			if v < q {
+				eng.SimilarEdge(v, q, w)
+			}
+		}
+	})
+	return Metrics{Sim: eng.C.Snapshot(), Elapsed: time.Since(start)}
+}

@@ -1,0 +1,102 @@
+package scan
+
+import (
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/graph"
+	"anyscan/internal/par"
+	"anyscan/internal/simeval"
+	"anyscan/internal/unionfind"
+)
+
+// ParallelSCAN is the naive parallelization of SCAN the paper argues
+// against (Section V): evaluate every edge similarity in parallel — that
+// part scales perfectly — then run the label propagation sequentially over
+// the precomputed similar-edge set. It is exact, and its similarity work is
+// always the full 2|E| evaluations' worth (each edge once thanks to the
+// precomputed table), so unlike anySCAN it is not work-efficient: even with
+// perfect scaling of the similarity phase it cannot beat a work-efficient
+// sequential algorithm until the thread count exceeds the work ratio.
+func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Result, Metrics) {
+	start := time.Now()
+	n := g.NumVertices()
+	eng := simeval.New(g, eps, simeval.AllOptimizations)
+	rev := g.ReverseEdgeIndex()
+
+	// Phase 1 (parallel): one σ per undirected edge.
+	similar := make([]bool, g.NumArcs())
+	par.For(n, threads, 16, func(i int) {
+		v := int32(i)
+		lo, hi := g.NeighborRange(v)
+		for e := lo; e < hi; e++ {
+			q, w := g.Arc(e)
+			if v < q {
+				ok := eng.SimilarEdge(v, q, w)
+				similar[e] = ok
+				similar[rev[e]] = ok
+			}
+		}
+	})
+
+	// Phase 2 (parallel): core flags from similar-degree counts.
+	isCore := make([]bool, n)
+	par.For(n, threads, 64, func(i int) {
+		v := int32(i)
+		lo, hi := g.NeighborRange(v)
+		cnt := 1
+		for e := lo; e < hi; e++ {
+			if similar[e] {
+				cnt++
+			}
+		}
+		isCore[v] = cnt >= mu
+	})
+
+	// Phase 3 (sequential): label propagation, the part the paper calls
+	// "highly sequential" for SCAN-family algorithms.
+	ds := unionfind.New(n)
+	for v := int32(0); v < int32(n); v++ {
+		if !isCore[v] {
+			continue
+		}
+		lo, hi := g.NeighborRange(v)
+		for e := lo; e < hi; e++ {
+			q, _ := g.Arc(e)
+			if similar[e] && q > v && isCore[q] {
+				ds.Union(v, q)
+			}
+		}
+	}
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = unclassified
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if isCore[v] {
+			labels[v] = ds.Find(v)
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if isCore[v] || labels[v] != unclassified {
+			continue
+		}
+		lo, hi := g.NeighborRange(v)
+		for e := lo; e < hi; e++ {
+			q, _ := g.Arc(e)
+			if similar[e] && isCore[q] {
+				labels[v] = labels[q]
+				break
+			}
+		}
+	}
+
+	res := buildResult(g, labels, isCore)
+	m := Metrics{
+		Sim:     eng.C.Snapshot(),
+		Unions:  ds.Unions(),
+		Finds:   ds.Finds(),
+		Elapsed: time.Since(start),
+	}
+	return res, m
+}

@@ -1,0 +1,72 @@
+package scan
+
+import (
+	"testing"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/core"
+	"anyscan/internal/datasets"
+	"anyscan/internal/eval"
+	"anyscan/internal/mapreduce"
+)
+
+// TestSoakAllAlgorithmsAgreeAtScale runs every exact algorithm on real-size
+// dataset stand-ins (tens of thousands of vertices) and requires pairwise
+// agreement — the integration-level check that all the per-module
+// correctness results compose. Skipped with -short.
+func TestSoakAllAlgorithmsAgreeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, name := range []string{"GR02L", "GR03L"} {
+		g, err := datasets.Load(name, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []struct {
+			mu  int
+			eps float64
+		}{{5, 0.5}, {3, 0.65}} {
+			base, _ := SCAN(g, p.mu, p.eps)
+			check := func(alg string, res *cluster.Result) {
+				t.Helper()
+				if err := cluster.Equivalent(base, res); err != nil {
+					t.Fatalf("%s/%s mu=%d eps=%v: %v", name, alg, p.mu, p.eps, err)
+				}
+				if nmi := eval.NMI(base, res); nmi < 0.99 {
+					t.Fatalf("%s/%s: NMI vs SCAN = %v", name, alg, nmi)
+				}
+			}
+			r, _ := SCANB(g, p.mu, p.eps)
+			check("SCAN-B", r)
+			r, _ = PSCAN(g, p.mu, p.eps)
+			check("pSCAN", r)
+			r, _ = SCANPP(g, p.mu, p.eps)
+			check("SCAN++", r)
+			r, _ = ParallelSCAN(g, p.mu, p.eps, 4)
+			check("ParallelSCAN", r)
+			mr, _, _ := mapreduce.PSCANMR(g, p.mu, p.eps, 4)
+			check("PSCAN-MR", mr)
+
+			o := core.DefaultOptions()
+			o.Mu, o.Eps = p.mu, p.eps
+			o.Alpha, o.Beta = 256, 256
+			o.Threads = 4
+			// Equivalent demands exact core/border roles; spend the extra
+			// checks to resolve the coreness anySCAN is allowed to skip.
+			o.ResolveRoles = true
+			any, _, err := core.Cluster(g, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("anySCAN", any)
+
+			o.EdgeMemo = true
+			anyMemo, _, err := core.Cluster(g, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("anySCAN+memo", anyMemo)
+		}
+	}
+}

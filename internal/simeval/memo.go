@@ -1,0 +1,74 @@
+package simeval
+
+// MemoState is the resolution state of one arc's similarity.
+type MemoState int8
+
+// Memo states.
+const (
+	Unknown    MemoState = 0
+	Similar    MemoState = 1
+	Dissimilar MemoState = 2
+)
+
+// EdgeMemo caches the boolean outcome σ(p,q) ≥ ε per undirected edge, so an
+// algorithm never evaluates the same pair twice. pSCAN relies on this to be
+// work-optimal; for SCAN++ memo hits are the "similarity sharing"
+// evaluations plotted in Fig. 7 (counted under Counters.Shared).
+//
+// Not safe for concurrent use; the exact baselines that use it are
+// sequential, as in the paper.
+type EdgeMemo struct {
+	e     *Engine
+	state []MemoState
+	rev   []int64
+}
+
+// NewEdgeMemo builds a memo over all arcs of the engine's graph.
+func NewEdgeMemo(e *Engine) *EdgeMemo {
+	return &EdgeMemo{
+		e:     e,
+		state: make([]MemoState, e.G.NumArcs()),
+		rev:   e.G.ReverseEdgeIndex(),
+	}
+}
+
+// State returns the memoized state of arc without evaluating anything.
+func (m *EdgeMemo) State(arc int64) MemoState { return m.state[arc] }
+
+// Set records the outcome for an arc (and its reverse) resolved externally.
+func (m *EdgeMemo) Set(arc int64, similar bool) {
+	s := Dissimilar
+	if similar {
+		s = Similar
+	}
+	m.state[arc] = s
+	m.state[m.rev[arc]] = s
+}
+
+// SimilarArc reports whether σ(p, head(arc)) ≥ ε, consulting the memo first.
+// p must be the tail of arc.
+func (m *EdgeMemo) SimilarArc(p int32, arc int64) bool {
+	switch m.state[arc] {
+	case Similar:
+		m.e.C.Shared.Add(1)
+		return true
+	case Dissimilar:
+		m.e.C.Shared.Add(1)
+		return false
+	}
+	q, w := m.e.G.Arc(arc)
+	ok := m.e.SimilarEdge(p, q, w)
+	m.Set(arc, ok)
+	return ok
+}
+
+// Resolved returns how many undirected edges have a memoized outcome.
+func (m *EdgeMemo) Resolved() int64 {
+	var c int64
+	for _, s := range m.state {
+		if s != Unknown {
+			c++
+		}
+	}
+	return c / 2
+}

@@ -1,0 +1,234 @@
+// Package simeval evaluates the weighted structural similarity of
+// Definition 1 and implements the Section III-D optimizations (Lemma 5
+// upper-bound pruning and early success/failure exits inside the sort-merge
+// join). Every clustering algorithm in this repository funnels its
+// similarity work through an Engine, so the "number of structural similarity
+// calculations" axis of Fig. 7 is measured uniformly.
+//
+// Similarity uses the closed-neighborhood convention (see package graph):
+//
+//	σ(p,q) = (Σ_{r∈N[p]∩N[q]} w_pr·w_qr) / √(l_p·l_q)
+//
+// with implicit self-loops of weight graph.SelfWeight. For adjacent p,q the
+// intersection always contains p and q themselves, contributing
+// w_qp·SelfWeight + w_pq·SelfWeight to the numerator. By Cauchy–Schwarz,
+// σ(p,q) ∈ [0,1].
+package simeval
+
+import (
+	"sync/atomic"
+
+	"anyscan/internal/graph"
+)
+
+// Counters tallies similarity work. All fields are updated atomically so the
+// parallel algorithms can share one Counters value.
+type Counters struct {
+	// Sims is the number of full similarity evaluations (a sort-merge join
+	// was executed, possibly with an early exit). This is the quantity
+	// plotted on the left of Fig. 7.
+	Sims atomic.Int64
+	// Pruned counts O(1) Lemma-5 rejections that avoided a join entirely.
+	Pruned atomic.Int64
+	// EarlyYes / EarlyNo count joins cut short by the running-sum bounds.
+	EarlyYes atomic.Int64
+	EarlyNo  atomic.Int64
+	// Shared counts memoized lookups that avoided recomputation (the
+	// "similarity sharing" evaluations of SCAN++ in Fig. 7).
+	Shared atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() CounterValues {
+	return CounterValues{
+		Sims:     c.Sims.Load(),
+		Pruned:   c.Pruned.Load(),
+		EarlyYes: c.EarlyYes.Load(),
+		EarlyNo:  c.EarlyNo.Load(),
+		Shared:   c.Shared.Load(),
+	}
+}
+
+// CounterValues is a point-in-time copy of Counters.
+type CounterValues struct {
+	Sims, Pruned, EarlyYes, EarlyNo, Shared int64
+}
+
+// Options selects which Section III-D optimizations the engine applies.
+type Options struct {
+	// Lemma5 enables the O(1) upper-bound rejection of Lemma 5.
+	Lemma5 bool
+	// EarlyExit enables terminating the merge join as soon as the running
+	// numerator crosses (success) or can no longer reach (failure) the
+	// ε threshold. Only affects threshold queries, never exact Sigma values.
+	EarlyExit bool
+}
+
+// AllOptimizations enables everything (the configuration anySCAN, SCAN-B and
+// pSCAN run with in Section IV).
+var AllOptimizations = Options{Lemma5: true, EarlyExit: true}
+
+// Engine evaluates similarities on one graph at one ε. Safe for concurrent
+// use: it is stateless apart from the atomic counters.
+type Engine struct {
+	G   *graph.CSR
+	Eps float64
+	Opt Options
+	C   Counters
+}
+
+// New returns an Engine for g at threshold eps.
+func New(g *graph.CSR, eps float64, opt Options) *Engine {
+	return &Engine{G: g, Eps: eps, Opt: opt}
+}
+
+// Sigma returns the exact similarity σ(p,q). It always runs the full join
+// (no early exits) so the value is exact; it still counts as one evaluation.
+func (e *Engine) Sigma(p, q int32) float64 {
+	e.C.Sims.Add(1)
+	num := e.closedDot(p, q, -1, -1)
+	return num / (e.G.SqrtNorm(p) * e.G.SqrtNorm(q))
+}
+
+// SimilarEdge reports whether σ(p,q) ≥ ε for the *adjacent* pair (p,q) with
+// known edge weight wpq, applying the enabled optimizations. This is the hot
+// path of every core check.
+func (e *Engine) SimilarEdge(p, q int32, wpq float32) bool {
+	// Parenthesized so the predicate is exactly num >= eps*(√l_p·√l_q),
+	// the form EdgeNumerator documents and package sweep replays.
+	threshold := e.Eps * (e.G.SqrtNorm(p) * e.G.SqrtNorm(q))
+	if e.Opt.Lemma5 {
+		dp, dq := e.G.Degree(p), e.G.Degree(q)
+		minD := dp
+		if dq < minD {
+			minD = dq
+		}
+		// num ≤ min(d_p,d_q)·w_p·w_q (open intersection) + 2·w_pq·SelfWeight
+		// (the two closed self terms). Tighter than the paper's bound, same
+		// purpose.
+		bound := float64(minD)*float64(e.G.MaxWeight(p))*float64(e.G.MaxWeight(q)) +
+			2*float64(wpq)*graph.SelfWeight
+		if bound < threshold {
+			e.C.Pruned.Add(1)
+			return false
+		}
+	}
+	e.C.Sims.Add(1)
+	selfTerms := 2 * float64(wpq) * graph.SelfWeight
+	if e.Opt.EarlyExit {
+		return e.joinThreshold(p, q, selfTerms, threshold)
+	}
+	num := selfTerms + e.openDot(p, q)
+	return num >= threshold
+}
+
+// Similar reports whether σ(p,q) ≥ ε for an arbitrary pair (adjacent or
+// not). Slightly slower than SimilarEdge because it must look up the edge.
+func (e *Engine) Similar(p, q int32) bool {
+	w := e.G.EdgeWeight(p, q)
+	return e.SimilarEdge(p, q, w)
+}
+
+// joinThreshold runs the merge join with running upper/lower bound exits.
+// The decision value is always computed as selfTerms + (running dot), the
+// exact float expression of the non-early path, so enabling EarlyExit can
+// never flip a boundary decision.
+func (e *Engine) joinThreshold(p, q int32, selfTerms, threshold float64) bool {
+	pAdj, pW := e.G.Neighbors(p)
+	qAdj, qW := e.G.Neighbors(q)
+	wp, wq := float64(e.G.MaxWeight(p)), float64(e.G.MaxWeight(q))
+	maxTerm := wp * wq
+	i, j := 0, 0
+	// Upper bound on the remaining numerator contribution.
+	remaining := func() float64 {
+		r := len(pAdj) - i
+		if s := len(qAdj) - j; s < r {
+			r = s
+		}
+		return float64(r) * maxTerm
+	}
+	if selfTerms >= threshold {
+		e.C.EarlyYes.Add(1)
+		return true
+	}
+	dot := 0.0
+	for i < len(pAdj) && j < len(qAdj) {
+		switch {
+		case pAdj[i] < qAdj[j]:
+			i++
+		case pAdj[i] > qAdj[j]:
+			j++
+		default:
+			dot += float64(pW[i]) * float64(qW[j])
+			i++
+			j++
+			if selfTerms+dot >= threshold {
+				e.C.EarlyYes.Add(1)
+				return true
+			}
+		}
+		if selfTerms+dot+remaining() < threshold {
+			e.C.EarlyNo.Add(1)
+			return false
+		}
+	}
+	return selfTerms+dot >= threshold
+}
+
+// EdgeNumerator returns the closed-neighborhood numerator for the adjacent
+// pair (p,q) with edge weight wpq, computed with the exact float expression
+// SimilarEdge uses, plus the denominator factor √(l_p·l_q). The engine's
+// similarity predicate is precisely num >= eps*denom; package sweep uses
+// these to derive per-edge activation thresholds that agree bit-for-bit
+// with every algorithm in this repository.
+func (e *Engine) EdgeNumerator(p, q int32, wpq float32) (num, denom float64) {
+	selfTerms := 2 * float64(wpq) * graph.SelfWeight
+	num = selfTerms + e.openDot(p, q)
+	denom = e.G.SqrtNorm(p) * e.G.SqrtNorm(q)
+	return num, denom
+}
+
+// openDot returns Σ_{r∈N(p)∩N(q)} w_pr·w_qr over the open neighborhoods.
+func (e *Engine) openDot(p, q int32) float64 {
+	pAdj, pW := e.G.Neighbors(p)
+	qAdj, qW := e.G.Neighbors(q)
+	var acc float64
+	i, j := 0, 0
+	for i < len(pAdj) && j < len(qAdj) {
+		switch {
+		case pAdj[i] < qAdj[j]:
+			i++
+		case pAdj[i] > qAdj[j]:
+			j++
+		default:
+			acc += float64(pW[i]) * float64(qW[j])
+			i++
+			j++
+		}
+	}
+	return acc
+}
+
+// closedDot returns the closed-neighborhood numerator. The skip arguments
+// are unused hooks kept at -1; they exist so tests can exercise the raw dot.
+func (e *Engine) closedDot(p, q int32, _, _ int64) float64 {
+	acc := e.openDot(p, q)
+	// Self terms: r=p contributes w_pp·w_qp, r=q contributes w_pq·w_qq.
+	if w := e.G.EdgeWeight(p, q); w > 0 {
+		acc += 2 * float64(w) * graph.SelfWeight
+	}
+	if p == q {
+		acc += graph.SelfWeight * graph.SelfWeight
+	}
+	return acc
+}
+
+// Restore resets the counters to previously snapshotted values (used when
+// resuming a checkpointed run).
+func (c *Counters) Restore(v CounterValues) {
+	c.Sims.Store(v.Sims)
+	c.Pruned.Store(v.Pruned)
+	c.EarlyYes.Store(v.EarlyYes)
+	c.EarlyNo.Store(v.EarlyNo)
+	c.Shared.Store(v.Shared)
+}

@@ -1,0 +1,102 @@
+// Package testutil provides deterministic test fixtures shared by the test
+// suites: small hand-built graphs with known clusterings and families of
+// seeded random graphs covering the regimes that stress structural
+// clustering (sparse, dense, clustered, power-law, weighted).
+package testutil
+
+import (
+	"fmt"
+
+	"anyscan/internal/gen"
+	"anyscan/internal/graph"
+)
+
+// Karate returns Zachary's karate club graph (34 vertices, 78 edges), a
+// standard community-detection fixture.
+func Karate() *graph.CSR {
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 10},
+		{0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21}, {0, 31},
+		{1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19}, {1, 21}, {1, 30},
+		{2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13}, {2, 27}, {2, 28}, {2, 32},
+		{3, 7}, {3, 12}, {3, 13}, {4, 6}, {4, 10}, {5, 6}, {5, 10}, {5, 16},
+		{6, 16}, {8, 30}, {8, 32}, {8, 33}, {9, 33}, {13, 33}, {14, 32}, {14, 33},
+		{15, 32}, {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33},
+		{22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33},
+		{24, 25}, {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33},
+		{28, 31}, {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32},
+		{31, 33}, {32, 33},
+	}
+	g, err := graph.FromUnweightedEdges(34, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TwoTriangles returns the 8-vertex fixture from many SCAN expositions: two
+// triangles {0,1,2} and {4,5,6} joined through bridge vertices 3 and 7.
+func TwoTriangles() *graph.CSR {
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {1, 2}, // triangle A
+		{4, 5}, {4, 6}, {5, 6}, // triangle B
+		{2, 3}, {3, 4}, // bridge path A-3-B
+		{1, 7}, {7, 5}, // bridge path A-7-B
+	}
+	g, err := graph.FromUnweightedEdges(8, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomCase is one deterministic random test graph.
+type RandomCase struct {
+	Name string
+	G    *graph.CSR
+	Mu   int
+	Eps  float64
+}
+
+// RandomCases returns a battery of seeded random graphs crossed with (μ, ε)
+// settings, covering sparse/dense, clustered/unclustered, unit/uniform
+// weights. count scales the battery size (graphs repeat with fresh seeds).
+func RandomCases(count int) []RandomCase {
+	unit := gen.WeightConfig{}
+	wts := gen.WeightConfig{Mode: gen.WeightUniform, Min: 0.5, Max: 1.5}
+	type family struct {
+		name string
+		make func(seed int64) *graph.CSR
+	}
+	families := []family{
+		{"er-sparse", func(s int64) *graph.CSR { return gen.ErdosRenyi(300, 900, unit, s) }},
+		{"er-dense", func(s int64) *graph.CSR { return gen.ErdosRenyi(150, 2200, unit, s) }},
+		{"er-weighted", func(s int64) *graph.CSR { return gen.ErdosRenyi(250, 1200, wts, s) }},
+		{"planted", func(s int64) *graph.CSR { return gen.PlantedPartition(200, 5, 0.3, 0.01, unit, s) }},
+		{"planted-weighted", func(s int64) *graph.CSR { return gen.PlantedPartition(200, 4, 0.25, 0.02, wts, s) }},
+		{"holme-kim", func(s int64) *graph.CSR { return gen.HolmeKim(400, 4, 0.6, unit, s) }},
+		{"barabasi", func(s int64) *graph.CSR { return gen.BarabasiAlbert(400, 3, unit, s) }},
+		{"rmat", func(s int64) *graph.CSR { return gen.RMAT(9, 2500, 0.45, 0.2, 0.2, wts, s) }},
+	}
+	params := []struct {
+		mu  int
+		eps float64
+	}{
+		{2, 0.3}, {5, 0.5}, {5, 0.7}, {3, 0.4}, {8, 0.6},
+	}
+	var cases []RandomCase
+	for r := 0; r < count; r++ {
+		for fi, f := range families {
+			seed := int64(1000*r + 17*fi + 1)
+			g := f.make(seed)
+			p := params[(r+fi)%len(params)]
+			cases = append(cases, RandomCase{
+				Name: fmt.Sprintf("%s/seed=%d/mu=%d/eps=%.2f", f.name, seed, p.mu, p.eps),
+				G:    g,
+				Mu:   p.mu,
+				Eps:  p.eps,
+			})
+		}
+	}
+	return cases
+}

@@ -1,0 +1,160 @@
+// Package unionfind implements the disjoint-set data structure used to track
+// cluster labels of super-nodes (Section III-A) and of pSCAN core vertices.
+//
+// The structure uses union by rank with path halving, giving the inverse-
+// Ackermann amortized bounds cited in the paper's complexity analysis. All
+// operations are counted so experiments can reproduce Fig. 12 (the number of
+// Union operations performed by anySCAN vs. pSCAN).
+//
+// The plain DisjointSet is not safe for concurrent use; the anySCAN merge
+// phases guard it with a mutex exactly as the paper guards Union with an
+// OpenMP critical section (Fig. 4 lines 41 and 60).
+package unionfind
+
+import "fmt"
+
+// DisjointSet is a forest of rank-balanced trees over elements 0..n-1.
+type DisjointSet struct {
+	parent []int32
+	rank   []uint8
+
+	unions int64 // number of successful (merging) Union calls
+	finds  int64 // number of Find calls
+	sets   int   // current number of disjoint sets
+}
+
+// New returns a DisjointSet with n singleton elements.
+func New(n int) *DisjointSet {
+	ds := &DisjointSet{
+		parent: make([]int32, n),
+		rank:   make([]uint8, n),
+		sets:   n,
+	}
+	for i := range ds.parent {
+		ds.parent[i] = int32(i)
+	}
+	return ds
+}
+
+// Len returns the number of elements in the universe.
+func (ds *DisjointSet) Len() int { return len(ds.parent) }
+
+// Add appends a fresh singleton element and returns its id. anySCAN uses
+// this for lazily created singleton super-nodes.
+func (ds *DisjointSet) Add() int32 {
+	id := int32(len(ds.parent))
+	ds.parent = append(ds.parent, id)
+	ds.rank = append(ds.rank, 0)
+	ds.sets++
+	return id
+}
+
+// Find returns the representative of x's set, halving the path on the way.
+func (ds *DisjointSet) Find(x int32) int32 {
+	ds.finds++
+	for ds.parent[x] != x {
+		ds.parent[x] = ds.parent[ds.parent[x]] // path halving
+		x = ds.parent[x]
+	}
+	return x
+}
+
+// FindNoCompress returns the representative of x's set without mutating the
+// forest and without touching the operation counters. It is safe to call
+// concurrently from many goroutines provided no goroutine mutates the
+// structure at the same time — which is how the anySCAN parallel phases use
+// it (all Unions happen in sequential sub-phases separated by barriers).
+func (ds *DisjointSet) FindNoCompress(x int32) int32 {
+	for ds.parent[x] != x {
+		x = ds.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// actually happened (false when they were already in the same set).
+func (ds *DisjointSet) Union(x, y int32) bool {
+	rx, ry := ds.Find(x), ds.Find(y)
+	if rx == ry {
+		return false
+	}
+	ds.unions++
+	ds.sets--
+	switch {
+	case ds.rank[rx] < ds.rank[ry]:
+		ds.parent[rx] = ry
+	case ds.rank[rx] > ds.rank[ry]:
+		ds.parent[ry] = rx
+	default:
+		ds.parent[ry] = rx
+		ds.rank[rx]++
+	}
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (ds *DisjointSet) Connected(x, y int32) bool {
+	return ds.Find(x) == ds.Find(y)
+}
+
+// Sets returns the current number of disjoint sets.
+func (ds *DisjointSet) Sets() int { return ds.sets }
+
+// Unions returns the number of merging Union operations performed.
+func (ds *DisjointSet) Unions() int64 { return ds.unions }
+
+// Finds returns the number of Find operations performed.
+func (ds *DisjointSet) Finds() int64 { return ds.finds }
+
+// ResetCounters zeroes the operation counters without touching the forest.
+// anySCAN uses it to split Step-1 (sequential) union counts from the
+// Step-2/3 (critical-section) counts reported in Fig. 12.
+func (ds *DisjointSet) ResetCounters() { ds.unions, ds.finds = 0, 0 }
+
+// Labels returns, for each element, a dense label in [0, Sets()): elements in
+// the same set share a label and labels are assigned in order of first
+// appearance of each set's representative.
+func (ds *DisjointSet) Labels() []int32 {
+	labels := make([]int32, len(ds.parent))
+	next := int32(0)
+	seen := make(map[int32]int32, ds.sets)
+	for i := range ds.parent {
+		r := ds.Find(int32(i))
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			next++
+			seen[r] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// String implements fmt.Stringer for debugging.
+func (ds *DisjointSet) String() string {
+	return fmt.Sprintf("unionfind{n=%d sets=%d unions=%d finds=%d}",
+		len(ds.parent), ds.sets, ds.unions, ds.finds)
+}
+
+// Snapshot exports the forest state for checkpointing.
+func (ds *DisjointSet) Snapshot() (parent []int32, rank []uint8, sets int) {
+	return append([]int32(nil), ds.parent...), append([]uint8(nil), ds.rank...), ds.sets
+}
+
+// Restore rebuilds a DisjointSet from a Snapshot. The operation counters
+// restart at zero.
+func Restore(parent []int32, rank []uint8, sets int) (*DisjointSet, error) {
+	if len(parent) != len(rank) {
+		return nil, fmt.Errorf("unionfind: parent/rank length mismatch %d != %d", len(parent), len(rank))
+	}
+	for i, p := range parent {
+		if p < 0 || int(p) >= len(parent) {
+			return nil, fmt.Errorf("unionfind: element %d has out-of-range parent %d", i, p)
+		}
+	}
+	if sets < 0 || sets > len(parent) {
+		return nil, fmt.Errorf("unionfind: implausible set count %d", sets)
+	}
+	return &DisjointSet{parent: parent, rank: rank, sets: sets}, nil
+}

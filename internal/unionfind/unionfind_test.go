@@ -1,0 +1,233 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	ds := New(5)
+	if ds.Len() != 5 || ds.Sets() != 5 {
+		t.Fatalf("fresh set: len=%d sets=%d", ds.Len(), ds.Sets())
+	}
+	if ds.Connected(0, 1) {
+		t.Fatal("fresh elements connected")
+	}
+	if !ds.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if ds.Union(1, 0) {
+		t.Fatal("repeat union should not merge")
+	}
+	if !ds.Connected(0, 1) {
+		t.Fatal("0 and 1 should be connected")
+	}
+	if ds.Sets() != 4 {
+		t.Fatalf("sets = %d, want 4", ds.Sets())
+	}
+	if ds.Unions() != 1 {
+		t.Fatalf("unions = %d, want 1", ds.Unions())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	ds := New(2)
+	id := ds.Add()
+	if id != 2 {
+		t.Fatalf("Add returned %d, want 2", id)
+	}
+	if ds.Len() != 3 || ds.Sets() != 3 {
+		t.Fatalf("after Add: len=%d sets=%d", ds.Len(), ds.Sets())
+	}
+	ds.Union(0, id)
+	if !ds.Connected(0, 2) {
+		t.Fatal("added element should union normally")
+	}
+}
+
+func TestChainMerging(t *testing.T) {
+	n := 100
+	ds := New(n)
+	for i := 0; i < n-1; i++ {
+		ds.Union(int32(i), int32(i+1))
+	}
+	if ds.Sets() != 1 {
+		t.Fatalf("chain should collapse to 1 set, got %d", ds.Sets())
+	}
+	root := ds.Find(0)
+	for i := 1; i < n; i++ {
+		if ds.Find(int32(i)) != root {
+			t.Fatalf("element %d has different root", i)
+		}
+	}
+}
+
+func TestFindNoCompressAgreesWithFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := New(200)
+	for i := 0; i < 300; i++ {
+		ds.Union(int32(rng.Intn(200)), int32(rng.Intn(200)))
+	}
+	for v := int32(0); v < 200; v++ {
+		if ds.FindNoCompress(v) != ds.Find(v) {
+			t.Fatalf("FindNoCompress(%d) != Find(%d)", v, v)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	ds := New(6)
+	ds.Union(0, 3)
+	ds.Union(4, 5)
+	labels := ds.Labels()
+	if labels[0] != labels[3] {
+		t.Errorf("0 and 3 should share a label")
+	}
+	if labels[4] != labels[5] {
+		t.Errorf("4 and 5 should share a label")
+	}
+	if labels[1] == labels[2] || labels[1] == labels[0] {
+		t.Errorf("singletons should be distinct: %v", labels)
+	}
+	// Dense: labels must cover 0..Sets()-1.
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	for l := int32(0); l < int32(ds.Sets()); l++ {
+		if !seen[l] {
+			t.Errorf("label %d missing (labels %v)", l, labels)
+		}
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	ds := New(4)
+	ds.Union(0, 1)
+	ds.Find(2)
+	ds.ResetCounters()
+	if ds.Unions() != 0 || ds.Finds() != 0 {
+		t.Fatalf("counters not reset")
+	}
+	if !ds.Connected(0, 1) {
+		t.Fatal("ResetCounters must not alter the forest")
+	}
+}
+
+// Property: union-find implements an equivalence relation matching a naive
+// label-propagation model.
+func TestEquivalenceRelationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		ds := New(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range naive {
+				if naive[i] == from {
+					naive[i] = to
+				}
+			}
+		}
+		for k := 0; k < 80; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			ds.Union(int32(a), int32(b))
+			relabel(naive[a], naive[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ds.Connected(int32(i), int32(j)) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of sets always equals n minus successful unions.
+func TestSetCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		ds := New(n)
+		for k := 0; k < 200; k++ {
+			ds.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		return int64(ds.Sets()) == int64(n)-ds.Unions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := New(n)
+		for k := 0; k < n; k++ {
+			ds.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	ds := New(10)
+	ds.Union(0, 1)
+	ds.Union(2, 3)
+	ds.Union(1, 3)
+	parent, rank, sets := ds.Snapshot()
+	restored, err := Restore(parent, rank, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Sets() != ds.Sets() || restored.Len() != ds.Len() {
+		t.Fatalf("shape mismatch after restore")
+	}
+	for i := int32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if ds.Connected(i, j) != restored.Connected(i, j) {
+				t.Fatalf("connectivity differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Snapshot must be a copy: mutating the restored set must not affect
+	// the original.
+	restored.Union(5, 6)
+	if ds.Connected(5, 6) {
+		t.Fatal("restore aliased the original forest")
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	if _, err := Restore([]int32{0, 1}, []uint8{0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Restore([]int32{0, 5}, []uint8{0, 0}, 2); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	if _, err := Restore([]int32{0, 1}, []uint8{0, 0}, 99); err == nil {
+		t.Error("implausible set count accepted")
+	}
+	if _, err := Restore([]int32{0, 1}, []uint8{0, 0}, -1); err == nil {
+		t.Error("negative set count accepted")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	ds := New(3)
+	ds.Union(0, 1)
+	s := ds.String()
+	if s == "" || ds.Len() != 3 {
+		t.Fatalf("String() = %q", s)
+	}
+}

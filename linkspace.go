@@ -1,0 +1,19 @@
+package anyscan
+
+import "anyscan/internal/linkspace"
+
+// OverlapOptions configures link-space overlapping community detection.
+type OverlapOptions = linkspace.Options
+
+// Overlap holds per-vertex overlapping community memberships produced by
+// clustering the graph's edges (the link-space transformation of LinkSCAN,
+// Lim et al. ICDE 2014).
+type Overlap = linkspace.Overlap
+
+// OverlappingCommunities clusters the edges of g in link space and maps the
+// link communities back to (possibly overlapping) vertex memberships. A
+// vertex bridging two dense groups belongs to both, where vertex-partition
+// SCAN could only call it a hub.
+func OverlappingCommunities(g *Graph, opt OverlapOptions) (*Overlap, error) {
+	return linkspace.Communities(g, opt)
+}

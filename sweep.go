@@ -1,0 +1,18 @@
+package anyscan
+
+import "anyscan/internal/sweep"
+
+// Explorer answers "what is the clustering at ε?" for any number of ε
+// values after a single pass that evaluates every edge similarity exactly
+// once — the interactive parameter-exploration companion to anySCAN (see
+// the SCOT/HintClus discussion in the paper's related work).
+type Explorer = sweep.Explorer
+
+// SweepProfile summarizes the clustering at one ε during an exploration.
+type SweepProfile = sweep.Profile
+
+// NewExplorer prepares an ε-exploration structure for (g, μ) using the
+// given number of workers (0 = GOMAXPROCS).
+func NewExplorer(g *Graph, mu int, threads int) (*Explorer, error) {
+	return sweep.NewExplorer(g, mu, threads)
+}
