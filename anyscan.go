@@ -227,9 +227,20 @@ func LoadGraphFile(path string) (*Graph, []int64, error) {
 
 // LoadCheckpoint reconstructs a suspended anytime run over g from a
 // checkpoint written with Clusterer.SaveCheckpoint; the resumed run
-// continues exactly where it stopped, in this process or another.
+// continues exactly where it stopped, in this process or another. The
+// framed checkpoint container (magic, version, length, CRC-32) rejects
+// truncated or bit-corrupted files, and all loaded index arrays are
+// bounds-checked against g before the run is reconstructed.
 func LoadCheckpoint(g *Graph, r io.Reader) (*Clusterer, error) {
 	return core.LoadCheckpoint(g, r)
+}
+
+// LoadCheckpointFile opens path and reconstructs the suspended run over g;
+// the file-writing counterpart is Clusterer.SaveCheckpointFile, which
+// publishes checkpoints atomically (temp file + fsync + rename) so a crash
+// mid-save never destroys the previous checkpoint.
+func LoadCheckpointFile(g *Graph, path string) (*Clusterer, error) {
+	return core.LoadCheckpointFile(g, path)
 }
 
 // WriteAssignments writes a clustering as "vertex cluster role" lines.

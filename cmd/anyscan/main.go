@@ -21,17 +21,28 @@
 //
 //	anyscan -dataset GR01L -eps 0.6
 //
+// Long runs survive interruption: SIGINT/SIGTERM stops the run at a
+// consistent point (even inside a block), writes an atomic checkpoint when
+// -checkpoint is set, and reports the best-so-far clustering;
+// -checkpoint-interval additionally checkpoints periodically:
+//
+//	anyscan -input big.bin -checkpoint run.ckpt -checkpoint-interval 30s
+//	anyscan -input big.bin -resume run.ckpt
+//
 // Input formats by extension: .metis/.graph (METIS), .bin (binary
 // container), anything else (whitespace edge list, '#' comments).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"anyscan"
@@ -52,9 +63,27 @@ func main() {
 	every := flag.Int("every", 4, "iterations between progress reports")
 	sweepList := flag.String("sweep", "", "comma-separated ε values to explore from one similarity pass")
 	output := flag.String("o", "", "write 'vertex label role' lines to this file")
-	checkpoint := flag.String("checkpoint", "", "write a resumable checkpoint here when quitting an interactive run early")
+	checkpoint := flag.String("checkpoint", "", "write resumable checkpoints here (atomic temp+fsync+rename; used on quit, on SIGINT/SIGTERM, and by -checkpoint-interval)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "auto-checkpoint to -checkpoint every interval (e.g. 30s; 0 disables)")
 	resume := flag.String("resume", "", "resume an anyscan run from this checkpoint file")
 	flag.Parse()
+
+	if *checkpointInterval < 0 {
+		fatal(fmt.Errorf("-checkpoint-interval must be >= 0, got %v", *checkpointInterval))
+	}
+	if *checkpointInterval > 0 && *checkpoint == "" {
+		fatal(fmt.Errorf("-checkpoint-interval requires -checkpoint PATH"))
+	}
+
+	// Install the SIGINT/SIGTERM handler before the (potentially long) graph
+	// load, so a signal at any point in the process lifetime interrupts
+	// gracefully: a run in progress stops at a consistent point (StepCtx
+	// notices the cancellation even inside a block), the state is
+	// checkpointed when -checkpoint is set, and the best-so-far clustering
+	// is reported. A second signal kills the process the default way
+	// (runAnySCAN deregisters the handler on the first one).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	g, ids, err := load(*input, *dataset, *scale)
 	if err != nil {
@@ -73,10 +102,11 @@ func main() {
 	var res *anyscan.Result
 	switch *algorithm {
 	case "anyscan":
-		res = runAnySCAN(g, anyCfg{
+		res = runAnySCAN(ctx, stop, g, anyCfg{
 			mu: *mu, eps: *eps, alpha: *alpha, beta: *beta, threads: *threads,
 			interactive: *interactive, every: *every,
-			checkpoint: *checkpoint, resume: *resume,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointInterval,
+			resume: *resume,
 		})
 	case "scan", "scanb", "scanpp", "pscan":
 		res = runBatch(*algorithm, g, *mu, *eps)
@@ -103,17 +133,14 @@ type anyCfg struct {
 	interactive        bool
 	every              int
 	checkpoint, resume string
+	checkpointEvery    time.Duration
 }
 
-func runAnySCAN(g *anyscan.Graph, cfg anyCfg) *anyscan.Result {
+func runAnySCAN(ctx context.Context, stop context.CancelFunc, g *anyscan.Graph, cfg anyCfg) *anyscan.Result {
 	var c *anyscan.Clusterer
 	if cfg.resume != "" {
-		f, err := os.Open(cfg.resume)
-		if err != nil {
-			fatal(err)
-		}
-		c, err = anyscan.LoadCheckpoint(g, f)
-		f.Close()
+		var err error
+		c, err = anyscan.LoadCheckpointFile(g, cfg.resume)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,10 +172,28 @@ func runAnySCAN(g *anyscan.Graph, cfg anyCfg) *anyscan.Result {
 
 	stdin := bufio.NewScanner(os.Stdin)
 	start := time.Now()
+	lastCkpt := start
 	iter := 0
 	n := g.NumVertices()
-	for c.Step() {
+	for {
+		more, err := c.StepCtx(ctx)
+		if err != nil {
+			stop()
+			fmt.Println("\ninterrupted; reporting the best-so-far clustering")
+			writeCheckpointIfConfigured(c, cfg.checkpoint)
+			break
+		}
+		if !more {
+			break
+		}
 		iter++
+		if cfg.checkpointEvery > 0 && time.Since(lastCkpt) >= cfg.checkpointEvery {
+			if err := saveCheckpoint(c, cfg.checkpoint); err != nil {
+				fatal(err)
+			}
+			lastCkpt = time.Now()
+			fmt.Printf("[%7.2fs] auto-checkpoint written to %s\n", time.Since(start).Seconds(), cfg.checkpoint)
+		}
 		if iter%every != 0 {
 			continue
 		}
@@ -157,12 +202,7 @@ func runAnySCAN(g *anyscan.Graph, cfg anyCfg) *anyscan.Result {
 			time.Since(start).Seconds(), p.Iterations, p.Phase, p.SuperNodes, p.Touched, n)
 		if interactive && !prompt(c, stdin) {
 			fmt.Println("stopped early; reporting the best-so-far clustering")
-			if cfg.checkpoint != "" {
-				if err := saveCheckpoint(c, cfg.checkpoint); err != nil {
-					fatal(err)
-				}
-				fmt.Printf("checkpoint written to %s (resume with -resume %s)\n", cfg.checkpoint, cfg.checkpoint)
-			}
+			writeCheckpointIfConfigured(c, cfg.checkpoint)
 			break
 		}
 	}
@@ -178,16 +218,21 @@ func runAnySCAN(g *anyscan.Graph, cfg anyCfg) *anyscan.Result {
 	return res
 }
 
+// saveCheckpoint writes a checkpoint durably: SaveCheckpointFile stages the
+// frame in a temp file, fsyncs and atomically renames it over path, so a
+// crash mid-save never destroys the previous checkpoint.
 func saveCheckpoint(c *anyscan.Clusterer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	return c.SaveCheckpointFile(path)
+}
+
+func writeCheckpointIfConfigured(c *anyscan.Clusterer, path string) {
+	if path == "" {
+		return
 	}
-	if err := c.SaveCheckpoint(f); err != nil {
-		f.Close()
-		return err
+	if err := saveCheckpoint(c, path); err != nil {
+		fatal(err)
 	}
-	return f.Close()
+	fmt.Printf("checkpoint written to %s (resume with -resume %s)\n", path, path)
 }
 
 func runBatch(name string, g *anyscan.Graph, mu int, eps float64) *anyscan.Result {

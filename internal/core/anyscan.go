@@ -211,47 +211,82 @@ func (c *Clusterer) Metrics() Metrics {
 // quiescent: Snapshot may be called, and the caller may simply stop calling
 // Step to "suspend" the run.
 func (c *Clusterer) Step() bool {
+	more, _ := c.StepCtx(nil)
+	return more
+}
+
+// StepCtx is Step with cooperative cancellation that reaches *inside* the
+// block: the expensive parallel sub-phases poll ctx between work chunks, so
+// even a single enormous block can be interrupted promptly. When ctx fires
+// mid-block the interrupted sub-phase is either rolled back (Step 1's range
+// queries, whose partial per-vertex marks are reverted) or left in a state
+// the re-run reproduces idempotently (Steps 2–4), the block is put back on
+// its worklist, and ctx.Err() is returned. The Clusterer is always
+// consistent afterwards: Snapshot, SaveCheckpoint and further Step/StepCtx
+// calls all remain valid, so an interrupted run loses at most one block of
+// work. A nil ctx disables polling and is equivalent to Step.
+//
+// The returned bool mirrors Step (false once the run has finished); an
+// interrupted call reports the iteration as not completed, leaving
+// Metrics().Iterations unchanged.
+func (c *Clusterer) StepCtx(ctx context.Context) (bool, error) {
 	if c.phase == PhaseDone {
-		return false
+		return false, nil
 	}
 	start := time.Now()
 	phase := c.phase
+	var err error
 	switch phase {
 	case PhaseSummarize:
-		if !c.stepSummarize() {
+		var more bool
+		more, err = c.stepSummarize(ctx)
+		if err == nil && !more {
 			c.beginStrong()
 		}
 	case PhaseStrong:
-		if !c.stepStrong() {
+		var more bool
+		more, err = c.stepStrong(ctx)
+		if err == nil && !more {
 			c.beginWeak()
 		}
 	case PhaseWeak:
-		if !c.stepWeak() {
+		var more bool
+		more, err = c.stepWeak(ctx)
+		if err == nil && !more {
 			c.phase = PhaseBorders
 		}
 	case PhaseBorders:
-		c.stepBorders()
-		if c.opt.ResolveRoles {
-			c.resolveRoles()
+		err = c.stepBorders(ctx)
+		if err == nil && c.opt.ResolveRoles {
+			err = c.resolveRoles(ctx)
 		}
-		c.phase = PhaseDone
+		if err == nil {
+			c.phase = PhaseDone
+		}
 	}
 	d := time.Since(start)
 	c.elapsed += d
 	c.phaseTime[phase] += d
-	c.iterations++
-	return c.phase != PhaseDone
+	if err == nil {
+		c.iterations++
+	}
+	return c.phase != PhaseDone, err
 }
 
-// Run drives Step to completion, honoring ctx between blocks; the partial
-// state remains inspectable (and resumable) if ctx is canceled.
+// Run drives StepCtx to completion. If ctx is canceled — even in the middle
+// of a large block — the partial best-so-far clustering is returned along
+// with ctx's error, and the Clusterer remains inspectable, checkpointable
+// and resumable.
 func (c *Clusterer) Run(ctx context.Context) (*cluster.Result, error) {
-	for c.Step() {
-		if err := ctx.Err(); err != nil {
+	for {
+		more, err := c.StepCtx(ctx)
+		if err != nil {
 			return c.Snapshot(), err
 		}
+		if !more {
+			return c.Snapshot(), nil
+		}
 	}
-	return c.Snapshot(), nil
 }
 
 // PhaseDurations returns cumulative time spent per phase.

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/testutil"
+)
+
+// countdownCtx is a context.Context whose Err starts returning
+// context.Canceled after the budget-th poll. The parallel-for loops poll
+// ctx between chunks, so this deterministically triggers cancellation in
+// the middle of a block — something a timer-based context cannot do
+// reproducibly.
+type countdownCtx struct {
+	budget int64
+	polls  atomic.Int64
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.budget {
+		return context.Canceled
+	}
+	return nil
+}
+
+func assertSameClustering(t *testing.T, label string, want, got *cluster.Result) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("%s: size mismatch", label)
+	}
+	for v := 0; v < got.N(); v++ {
+		if got.Labels[v] != want.Labels[v] || got.Roles[v] != want.Roles[v] {
+			t.Fatalf("%s: vertex %d differs (label %d/%d role %v/%v)",
+				label, v, got.Labels[v], want.Labels[v], got.Roles[v], want.Roles[v])
+		}
+	}
+}
+
+// TestRunCanceledReturnsPartialAndResumes checks the between/inside-block
+// cancellation contract of Run: a canceled run returns the context error
+// with a consistent partial result, and simply calling Run again finishes
+// the exact uninterrupted clustering.
+func TestRunCanceledReturnsPartialAndResumes(t *testing.T) {
+	tc := testutil.RandomCases(1)[4]
+	o := opts(tc.Mu, tc.Eps, 2, 32, 32)
+	want, _ := mustCluster(t, tc.G, o)
+
+	c, err := New(tc.G, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := c.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if partial == nil {
+		t.Fatal("canceled Run returned no partial result")
+	}
+	got, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameClustering(t, "resume after canceled Run", want, got)
+}
+
+// TestStepCtxMidBlockCancellationIsConsistent interrupts runs at many
+// in-block points (every poll budget exercises a different cut through the
+// parallel phases), then finishes each interrupted run and asserts the
+// clustering is identical to the uninterrupted one. This is the core
+// guarantee: cancellation can land anywhere without corrupting state.
+func TestStepCtxMidBlockCancellationIsConsistent(t *testing.T) {
+	tc := testutil.RandomCases(1)[3] // planted partition
+	for _, threads := range []int{1, 4} {
+		for _, memo := range []bool{false, true} {
+			o := opts(tc.Mu, tc.Eps, threads, 16, 16)
+			o.EdgeMemo = memo
+			o.ResolveRoles = true
+			want, _ := mustCluster(t, tc.G, o)
+
+			for _, budget := range []int64{0, 1, 2, 3, 5, 8, 13, 21, 50, 200} {
+				c, err := New(tc.G, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				interruptions := 0
+				cd := &countdownCtx{budget: budget}
+				for {
+					more, err := c.StepCtx(cd)
+					if err != nil {
+						interruptions++
+						// Escalate the budget geometrically so the run is
+						// guaranteed to eventually get through the block it
+						// was cut in, whatever its poll count.
+						cd = &countdownCtx{budget: cd.budget*2 + 7}
+						continue
+					}
+					if !more {
+						break
+					}
+				}
+				if budget < 3 && interruptions == 0 {
+					t.Fatalf("threads=%d budget=%d: expected at least one interruption", threads, budget)
+				}
+				assertSameClustering(t, "mid-block cancellation", want, c.Snapshot())
+			}
+		}
+	}
+}
+
+// TestCheckpointAfterMidBlockCancellation saves a checkpoint right after an
+// in-block interruption, reloads it, and finishes: the canceled state must
+// be both checkpointable and exactly resumable — the crash-safe version of
+// the anytime suspend.
+func TestCheckpointAfterMidBlockCancellation(t *testing.T) {
+	tc := testutil.RandomCases(1)[4] // planted weighted
+	o := opts(tc.Mu, tc.Eps, 2, 24, 24)
+	want, _ := mustCluster(t, tc.G, o)
+
+	for _, budget := range []int64{1, 4, 16, 64, 256} {
+		c, err := New(tc.G, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd := &countdownCtx{budget: budget}
+		sawInterrupt := false
+		for {
+			more, err := c.StepCtx(cd)
+			if err != nil {
+				sawInterrupt = true
+				var buf bytes.Buffer
+				if err := c.SaveCheckpoint(&buf); err != nil {
+					t.Fatalf("budget=%d: checkpoint after cancellation: %v", budget, err)
+				}
+				resumed, err := LoadCheckpoint(tc.G, &buf)
+				if err != nil {
+					t.Fatalf("budget=%d: reload after cancellation: %v", budget, err)
+				}
+				c = resumed // continue from the reloaded state
+				// Escalate geometrically: a fixed retry budget can loop
+				// forever if one step polls more often than it allows.
+				cd = &countdownCtx{budget: cd.budget*2 + 7}
+				continue
+			}
+			if !more {
+				break
+			}
+		}
+		if !sawInterrupt && budget <= 16 {
+			t.Fatalf("budget=%d: run finished without any interruption", budget)
+		}
+		assertSameClustering(t, "checkpoint after cancellation", want, c.Snapshot())
+	}
+}
+
+// TestStepCtxNilBehavesLikeStep pins the compatibility contract: a nil ctx
+// must never report an error and must finish the run exactly like Step.
+func TestStepCtxNilBehavesLikeStep(t *testing.T) {
+	g := testutil.Karate()
+	o := opts(3, 0.5, 2, 8, 8)
+	want, _ := mustCluster(t, g, o)
+	c, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		more, err := c.StepCtx(nil)
+		if err != nil {
+			t.Fatalf("nil ctx reported error: %v", err)
+		}
+		if !more {
+			break
+		}
+	}
+	assertSameClustering(t, "nil ctx", want, c.Snapshot())
+}
+
+// TestInterruptedIterationNotCounted: an interrupted StepCtx must not
+// advance the iteration counter (the block did not commit).
+func TestInterruptedIterationNotCounted(t *testing.T) {
+	g := testutil.Karate()
+	c, err := New(g, opts(3, 0.5, 2, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.StepCtx(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if it := c.Metrics().Iterations; it != 0 {
+		t.Fatalf("interrupted step counted as iteration (%d)", it)
+	}
+	if !c.Step() {
+		t.Fatal("run ended prematurely after interrupted step")
+	}
+	if it := c.Metrics().Iterations; it != 1 {
+		t.Fatalf("iterations = %d after one committed step", it)
+	}
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
@@ -13,9 +16,29 @@ import (
 	"anyscan/internal/unionfind"
 )
 
-// checkpointVersion guards against loading checkpoints from incompatible
-// library versions.
-const checkpointVersion = 1
+// Checkpoint container format v2. A checkpoint is a fixed little-endian
+// frame header followed by a gob payload:
+//
+//	offset  size  field
+//	     0     4  magic   (0xA17C5CC2)
+//	     4     4  version (2)
+//	     8     8  payload length in bytes
+//	    16     4  CRC-32 (IEEE) of the payload
+//	    20     …  gob-encoded checkpointState
+//
+// The magic rejects arbitrary files immediately, the length detects
+// truncation before gob produces a confusing partial decode, and the CRC
+// detects any bit-level corruption of the payload. Integrity of the header
+// itself is implied: a corrupted magic/version fails those checks, a
+// corrupted length or CRC fails the truncation or checksum check.
+const (
+	checkpointMagic   = uint32(0xA17C5CC2)
+	checkpointVersion = 2
+
+	// maxCheckpointPayload bounds the declared payload length so a corrupt
+	// or hostile header cannot force an enormous allocation.
+	maxCheckpointPayload = int64(1) << 36
+)
 
 // checkpointState is the gob payload of a suspended run. The graph itself
 // is not serialized — the caller supplies it again at load time and a
@@ -85,11 +108,9 @@ func fingerprint(g *graph.CSR) graphFingerprint {
 
 func floatBits(f float32) uint32 { return math.Float32bits(f) }
 
-// SaveCheckpoint serializes the complete run state so it can be resumed
-// later — possibly in another process — with LoadCheckpoint. Call it only
-// between Step invocations (the suspended anytime position), never
-// concurrently with Step.
-func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
+// checkpointSnapshot captures the complete run state as a serializable
+// payload. Call it only between Step invocations.
+func (c *Clusterer) checkpointSnapshot() checkpointState {
 	st := checkpointState{
 		Version:      checkpointVersion,
 		Graph:        fingerprint(c.g),
@@ -117,7 +138,81 @@ func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
 		Sim:          c.eng.C.Snapshot(),
 	}
 	st.DSParent, st.DSRank, st.DSSets = c.ds.Snapshot()
-	return gob.NewEncoder(w).Encode(&st)
+	return st
+}
+
+// writeCheckpointFrame frames and writes an encoded payload.
+func writeCheckpointFrame(w io.Writer, payload []byte) error {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], checkpointVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("anyscan: writing checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("anyscan: writing checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// readCheckpointFrame reads and verifies a frame, returning the payload.
+func readCheckpointFrame(r io.Reader) ([]byte, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("anyscan: reading checkpoint header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != checkpointMagic {
+		return nil, fmt.Errorf("anyscan: not a checkpoint file (magic %#x, want %#x)", m, checkpointMagic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkpointVersion {
+		return nil, fmt.Errorf("anyscan: checkpoint format version %d not supported (want %d)", v, checkpointVersion)
+	}
+	size := binary.LittleEndian.Uint64(hdr[8:16])
+	if size == 0 || size > uint64(maxCheckpointPayload) {
+		return nil, fmt.Errorf("anyscan: implausible checkpoint payload length %d", size)
+	}
+	// Read in bounded chunks so a corrupt length field cannot force a huge
+	// upfront allocation before the (short) stream runs out.
+	const chunk = 1 << 20
+	payload := make([]byte, 0, min(size, chunk))
+	for uint64(len(payload)) < size {
+		c := size - uint64(len(payload))
+		if c > chunk {
+			c = chunk
+		}
+		start := len(payload)
+		payload = append(payload, make([]byte, c)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, fmt.Errorf("anyscan: checkpoint truncated (declared %d payload bytes): %w", size, err)
+		}
+	}
+	want := binary.LittleEndian.Uint32(hdr[16:20])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("anyscan: checkpoint payload corrupted (CRC-32 %#x, want %#x)", got, want)
+	}
+	return payload, nil
+}
+
+// SaveCheckpoint serializes the complete run state so it can be resumed
+// later — possibly in another process — with LoadCheckpoint. The payload is
+// wrapped in the framed v2 container (magic, version, length, CRC-32), so
+// truncation and bit-level corruption are detected at load time. Call it
+// only between Step invocations (the suspended anytime position), never
+// concurrently with Step.
+//
+// SaveCheckpoint buffers the encoded payload in memory to compute its
+// length and checksum before anything reaches w; a failed save therefore
+// never emits a partial frame unless w itself fails mid-write — use
+// SaveCheckpointFile for crash-safe on-disk atomicity.
+func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
+	st := c.checkpointSnapshot()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return fmt.Errorf("anyscan: encoding checkpoint: %w", err)
+	}
+	return writeCheckpointFrame(w, buf.Bytes())
 }
 
 // LoadCheckpoint reconstructs a suspended Clusterer over g from a
@@ -125,9 +220,19 @@ func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
 // was started on (a content fingerprint is verified). The resumed run
 // continues exactly where it stopped; the thread count is taken from the
 // saved options.
+//
+// The frame checksum rejects corrupted files, and every loaded index array
+// is additionally bounds-checked against the graph, so even a
+// checksum-valid but semantically invalid checkpoint (e.g. produced by a
+// buggy writer) yields an error instead of out-of-range panics or a
+// silently poisoned resumed run.
 func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
+	payload, err := readCheckpointFrame(r)
+	if err != nil {
+		return nil, err
+	}
 	var st checkpointState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("anyscan: decoding checkpoint: %w", err)
 	}
 	if st.Version != checkpointVersion {
@@ -140,20 +245,12 @@ func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
 	if err := (&opt).validate(); err != nil {
 		return nil, fmt.Errorf("anyscan: checkpoint options invalid: %w", err)
 	}
-	n := g.NumVertices()
-	if len(st.State) != n || len(st.Nei) != n || len(st.SnOf) != n ||
-		len(st.BorderOf) != n || len(st.EpsCache) != n || len(st.Order) != n {
-		return nil, fmt.Errorf("anyscan: checkpoint arrays do not match graph size %d", n)
-	}
-	if len(st.DSParent) != len(st.SnRep) {
-		return nil, fmt.Errorf("anyscan: checkpoint super-node state inconsistent")
+	if err := st.validate(g, opt); err != nil {
+		return nil, fmt.Errorf("anyscan: checkpoint state invalid: %w", err)
 	}
 	ds, err := unionfind.Restore(st.DSParent, st.DSRank, st.DSSets)
 	if err != nil {
 		return nil, fmt.Errorf("anyscan: checkpoint: %w", err)
-	}
-	if opt.EdgeMemo && int64(len(st.Memo)) != g.NumArcs() {
-		return nil, fmt.Errorf("anyscan: checkpoint memo does not match graph arcs")
 	}
 
 	c := &Clusterer{
@@ -193,4 +290,107 @@ func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
 		copy(c.workerArcs, st.WorkerArcs)
 	}
 	return c, nil
+}
+
+// validate bounds-checks every index array of a decoded checkpoint against
+// the graph it is being restored over. A checkpoint that passes the CRC but
+// fails here was written by an incompatible or buggy encoder; rejecting it
+// up front means the resumed run can index freely without further checks.
+func (st *checkpointState) validate(g *graph.CSR, opt Options) error {
+	n := g.NumVertices()
+	if st.Phase < PhaseSummarize || st.Phase > PhaseDone {
+		return fmt.Errorf("phase %d out of range", st.Phase)
+	}
+	if len(st.State) != n || len(st.Nei) != n || len(st.SnOf) != n ||
+		len(st.BorderOf) != n || len(st.EpsCache) != n || len(st.Order) != n {
+		return fmt.Errorf("per-vertex arrays do not match graph size %d", n)
+	}
+	sn := len(st.SnRep)
+	if len(st.DSParent) != sn || len(st.DSRank) != sn {
+		return fmt.Errorf("super-node state inconsistent (%d reps, %d parents, %d ranks)",
+			sn, len(st.DSParent), len(st.DSRank))
+	}
+	for i, rep := range st.SnRep {
+		if rep < 0 || int(rep) >= n {
+			return fmt.Errorf("super-node %d representative %d out of range [0,%d)", i, rep, n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if s := st.State[v]; s < stateUntouched || s > stateProcCore {
+			return fmt.Errorf("vertex %d state %d invalid", v, s)
+		}
+		if ne := st.Nei[v]; ne < 0 || int(ne) > n {
+			return fmt.Errorf("vertex %d nei count %d out of range [0,%d]", v, ne, n)
+		}
+		if b := st.BorderOf[v]; b < -1 || int(b) >= sn {
+			return fmt.Errorf("vertex %d borderOf %d out of range [-1,%d)", v, b, sn)
+		}
+		for _, sid := range st.SnOf[v] {
+			if sid < 0 || int(sid) >= sn {
+				return fmt.Errorf("vertex %d super-node id %d out of range [0,%d)", v, sid, sn)
+			}
+		}
+		for _, q := range st.EpsCache[v] {
+			if q < 0 || int(q) >= n {
+				return fmt.Errorf("vertex %d cached ε-neighbor %d out of range [0,%d)", v, q, n)
+			}
+		}
+	}
+	for _, v := range st.Noise {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("noise-list vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	if st.Cursor < 0 || st.Cursor > len(st.Order) {
+		return fmt.Errorf("cursor %d out of range [0,%d]", st.Cursor, len(st.Order))
+	}
+	seen := make([]bool, n)
+	for _, v := range st.Order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return fmt.Errorf("selection order is not a permutation of [0,%d)", n)
+		}
+		seen[v] = true
+	}
+	for _, v := range st.WorkS {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("Step-2 worklist vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	for _, v := range st.WorkT {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("Step-3 worklist vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	if st.WorkPos < 0 {
+		return fmt.Errorf("worklist position %d negative", st.WorkPos)
+	}
+	switch st.Phase {
+	case PhaseStrong:
+		if st.WorkPos > len(st.WorkS) {
+			return fmt.Errorf("worklist position %d beyond Step-2 worklist (%d)", st.WorkPos, len(st.WorkS))
+		}
+	case PhaseWeak:
+		if st.WorkPos > len(st.WorkT) {
+			return fmt.Errorf("worklist position %d beyond Step-3 worklist (%d)", st.WorkPos, len(st.WorkT))
+		}
+	}
+	if opt.EdgeMemo {
+		if int64(len(st.Memo)) != g.NumArcs() {
+			return fmt.Errorf("edge memo has %d entries, graph has %d arcs", len(st.Memo), g.NumArcs())
+		}
+		for i, m := range st.Memo {
+			if m < 0 || m > 2 {
+				return fmt.Errorf("edge memo entry %d value %d invalid", i, m)
+			}
+		}
+	} else if len(st.Memo) != 0 {
+		return fmt.Errorf("edge memo present but EdgeMemo disabled in options")
+	}
+	if len(st.PhaseTime) > int(PhaseDone)+1 {
+		return fmt.Errorf("phase-time vector has %d entries, want at most %d", len(st.PhaseTime), int(PhaseDone)+1)
+	}
+	if st.Iterations < 0 || st.Elapsed < 0 {
+		return fmt.Errorf("negative progress counters (iterations %d, elapsed %v)", st.Iterations, st.Elapsed)
+	}
+	return nil
 }

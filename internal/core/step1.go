@@ -1,14 +1,28 @@
 package core
 
-import "anyscan/internal/par"
+import (
+	"context"
+
+	"anyscan/internal/par"
+)
 
 // stepSummarize performs one Step-1 iteration: select a block of α untouched
 // vertices, evaluate their ε-neighborhoods in parallel, mark neighbor states
 // and nei counts in parallel, then build super-nodes and perform the Lemma-2
 // unions sequentially (the three-phase structure of Fig. 4 lines 5-24).
 // Returns false when no untouched vertices remain.
-func (c *Clusterer) stepSummarize() bool {
+//
+// Cancellation: only phase 1 (the expensive range queries) polls ctx. Its
+// per-vertex work writes nothing shared except the vertex's own state, so an
+// interrupted phase 1 is rolled back by reverting the whole block to
+// untouched and rewinding the selection cursor — the next call re-selects
+// the same vertices. Phases 2 and 3 always run to completion once phase 1
+// has committed: they are cheap (atomic marks and sequential unions, no
+// similarity evaluations) and their neighbor-state transitions cannot be
+// reverted safely.
+func (c *Clusterer) stepSummarize(ctx context.Context) (bool, error) {
 	// Select up to α untouched vertices from the shuffled order.
+	cursorStart := c.cursor
 	c.blockVerts = c.blockVerts[:0]
 	for c.cursor < len(c.order) && len(c.blockVerts) < c.opt.Alpha {
 		v := c.order[c.cursor]
@@ -19,7 +33,7 @@ func (c *Clusterer) stepSummarize() bool {
 	}
 	k := len(c.blockVerts)
 	if k == 0 {
-		return false
+		return false, nil
 	}
 	c.growScratch(k)
 
@@ -27,7 +41,7 @@ func (c *Clusterer) stepSummarize() bool {
 	// buffer of its vertices and marks the vertex processed-core or
 	// processed-noise. No cross-vertex writes, so no synchronization beyond
 	// the final barrier.
-	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
 		p := c.blockVerts[i]
 		buf := c.blockEps[i][:0]
 		adj, wts := c.g.Neighbors(p)
@@ -47,6 +61,17 @@ func (c *Clusterer) stepSummarize() bool {
 			c.setState(p, stateProcNoise)
 		}
 	})
+	if err != nil {
+		// Roll back: phase 1 only ever touches the block vertices' own
+		// states (any similarity-memo entries it left behind are a
+		// deterministic cache and stay valid). Reverting is idempotent for
+		// the vertices the canceled loop never reached.
+		for _, p := range c.blockVerts {
+			c.setState(p, stateUntouched)
+		}
+		c.cursor = cursorStart
+		return true, err
+	}
 
 	// Phase 2 (parallel): mark the discovered ε-neighbors. State moves are
 	// CAS transitions on the Fig. 3 lattice; nei counting is a single atomic
@@ -107,7 +132,7 @@ func (c *Clusterer) stepSummarize() bool {
 		}
 		c.promoted[w] = c.promoted[w][:0]
 	}
-	return true
+	return true, nil
 }
 
 // attachMember records that q belongs to super-node sid and, when q is a

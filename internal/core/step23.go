@@ -1,16 +1,27 @@
 package core
 
-import "anyscan/internal/par"
+import (
+	"context"
+
+	"anyscan/internal/par"
+)
 
 // stepStrong performs one Step-2 iteration over a block of β vertices from
 // the worklist S: in parallel, each vertex is pruned (all its super-nodes
 // already share a cluster) or core-checked; sequentially, vertices found to
 // be cores merge all their super-nodes (Lemma 2). Returns false when S is
 // exhausted.
-func (c *Clusterer) stepStrong() bool {
+//
+// Cancellation: the parallel phase writes only per-block scratch — every
+// state transition and union happens in the sequential phase. When ctx
+// fires mid-phase the scratch is simply discarded and the worklist cursor
+// rewound, so nothing needs rolling back; the re-run repeats the block's
+// core checks (cheap again under Options.EdgeMemo).
+func (c *Clusterer) stepStrong(ctx context.Context) (bool, error) {
 	if c.workPos >= len(c.workS) {
-		return false
+		return false, nil
 	}
+	posStart := c.workPos
 	end := c.workPos + c.opt.Beta
 	if end > len(c.workS) {
 		end = len(c.workS)
@@ -22,7 +33,7 @@ func (c *Clusterer) stepStrong() bool {
 
 	// Parallel phase: prune or core-check. The disjoint set is only read
 	// here (FindNoCompress), all unions happen in the sequential phase.
-	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
 		p := block[i]
 		sns := c.snOf[p]
 		same := false
@@ -47,6 +58,10 @@ func (c *Clusterer) stepStrong() bool {
 		c.workerArcs[w] += int64(c.g.Degree(p))
 		c.blockCore[i] = c.coreCheck(p)
 	})
+	if err != nil {
+		c.workPos = posStart
+		return true, err
+	}
 
 	// Sequential phase: apply state transitions and the Lemma-2 unions.
 	for i, p := range block {
@@ -65,7 +80,7 @@ func (c *Clusterer) stepStrong() bool {
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 // stepWeak performs one Step-3 iteration over a block of β vertices from the
@@ -75,10 +90,19 @@ func (c *Clusterer) stepStrong() bool {
 // cluster, core-check the rest; (B1, parallel) evaluate σ on candidate
 // core-core edges crossing clusters and collect merge pairs; (B2,
 // sequential) apply the unions. Returns false when T is exhausted.
-func (c *Clusterer) stepWeak() bool {
+//
+// Cancellation: both parallel phases poll ctx. Phase A's state transitions
+// (unprocessed-border → unprocessed-core / processed-border) are
+// deterministic verdicts, so re-running the block after an interruption
+// reproduces them; phase B1's buffered merge pairs each carry a proven
+// σ ≥ ε between two cores, so the pairs collected before the interruption
+// are applied (the merges are valid regardless) and the block is re-run for
+// the rest.
+func (c *Clusterer) stepWeak(ctx context.Context) (bool, error) {
 	if c.workPos >= len(c.workT) {
-		return false
+		return false, nil
 	}
+	posStart := c.workPos
 	end := c.workPos + c.opt.Beta
 	if end > len(c.workT) {
 		end = len(c.workT)
@@ -89,7 +113,7 @@ func (c *Clusterer) stepWeak() bool {
 	c.growScratch(k)
 
 	// Phase A: prune + core check. Writes only the vertex's own state.
-	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
 		p := block[i]
 		c.workerArcs[w] += int64(c.g.Degree(p))
 		pruned := false
@@ -121,15 +145,22 @@ func (c *Clusterer) stepWeak() bool {
 				c.blockCore[i] = false
 			}
 		} else {
-			c.blockCore[i] = true // already a known core
+			// Vertices enter T as unprocessed-border or known cores, but a
+			// canceled-and-re-run block can re-see a vertex it already
+			// demoted to processed-border — verify instead of assuming.
+			c.blockCore[i] = isKnownCore(c.loadState(p))
 		}
 	})
+	if err != nil {
+		c.workPos = posStart
+		return true, err
+	}
 
 	// Phase B1: for each core of the block, evaluate σ against known-core
 	// neighbors in other clusters (the expensive similarity work stays
 	// parallel, as in Fig. 4 lines 53-61); merge pairs are buffered per
 	// worker instead of a critical section.
-	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+	err = par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
 		if c.blockSkip[i] || !c.blockCore[i] {
 			return
 		}
@@ -150,8 +181,13 @@ func (c *Clusterer) stepWeak() bool {
 			}
 		}
 	})
+	if err != nil {
+		c.workPos = posStart
+	}
 
-	// Phase B2: apply the buffered unions.
+	// Phase B2: apply the buffered unions. Each pair carries a proven
+	// σ ≥ ε core-core edge, so applying them is correct even when B1 was
+	// interrupted and the block will be re-run.
 	for w := range c.mergeBuf {
 		for _, pair := range c.mergeBuf[w] {
 			if c.ds.Union(pair[0], pair[1]) {
@@ -160,5 +196,5 @@ func (c *Clusterer) stepWeak() bool {
 		}
 		c.mergeBuf[w] = c.mergeBuf[w][:0]
 	}
-	return true
+	return true, err
 }

@@ -1,6 +1,10 @@
 package core
 
-import "anyscan/internal/par"
+import (
+	"context"
+
+	"anyscan/internal/par"
+)
 
 // stepBorders performs Step 4: every vertex still in a noise state is
 // examined to decide whether it is actually a border of some cluster.
@@ -9,7 +13,13 @@ import "anyscan/internal/par"
 // similarities to their neighbors. A neighbor in the unprocessed-border
 // state gets an on-the-fly core check, which may redundantly repeat across
 // workers — the paper accepts this to keep Step 4 free of synchronization.
-func (c *Clusterer) stepBorders() {
+//
+// Cancellation: every per-vertex decision is deterministic and individually
+// committed (a vertex either attaches as a border or settles as noise), so
+// an interrupted pass needs no rollback — the caller keeps the phase open
+// and the next call rebuilds the work list from the current states,
+// re-examining only vertices the interrupted pass left in a noise state.
+func (c *Clusterer) stepBorders(ctx context.Context) error {
 	n := int32(len(c.state))
 	work := make([]int32, 0, len(c.noise))
 	for v := int32(0); v < n; v++ {
@@ -18,7 +28,7 @@ func (c *Clusterer) stepBorders() {
 			work = append(work, v)
 		}
 	}
-	par.For(len(work), c.opt.Threads, 16, func(i int) {
+	return par.ForCtx(ctx, len(work), c.opt.Threads, 16, func(i int) {
 		p := work[i]
 		if c.loadState(p) == stateProcNoise {
 			// Every potential claiming core is in N^ε(p), all of whose
@@ -82,8 +92,9 @@ func (c *Clusterer) coreCheckPromote(q int32) bool {
 // resolveRoles optionally finishes the core checks anySCAN was able to skip
 // (pruned unprocessed-border vertices), so the reported roles — not just the
 // cluster memberships — match SCAN's exactly. Enabled by
-// Options.ResolveRoles.
-func (c *Clusterer) resolveRoles() {
+// Options.ResolveRoles. Each promotion commits individually, so an
+// interrupted pass resumes by re-collecting the still-unresolved vertices.
+func (c *Clusterer) resolveRoles(ctx context.Context) error {
 	n := int32(len(c.state))
 	var work []int32
 	for v := int32(0); v < n; v++ {
@@ -91,7 +102,7 @@ func (c *Clusterer) resolveRoles() {
 			work = append(work, v)
 		}
 	}
-	par.For(len(work), c.opt.Threads, 16, func(i int) {
+	return par.ForCtx(ctx, len(work), c.opt.Threads, 16, func(i int) {
 		c.coreCheckPromote(work[i])
 	})
 }

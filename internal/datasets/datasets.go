@@ -34,7 +34,9 @@ type Info struct {
 }
 
 // generatorFn builds the dataset at the given scale factor (1.0 = default).
-type generatorFn func(scale float64) *graph.CSR
+// Generation failures are returned, not panicked, so a missing or
+// misconfigured dataset fails a benchmark run cleanly.
+type generatorFn func(scale float64) (*graph.CSR, error)
 
 type entry struct {
 	info Info
@@ -60,7 +62,7 @@ func scaled(n int, scale float64) int {
 func init() {
 	// --- Table I stand-ins ---
 	register("GR01L", "ego-Gplus (108k V, 13.7M E, d̄=127.1, c=0.490)",
-		"dense overlapping ego circles", func(s float64) *graph.CSR {
+		"dense overlapping ego circles", func(s float64) (*graph.CSR, error) {
 			n := scaled(4096, s)
 			regions := n / 400
 			if regions < 2 {
@@ -75,22 +77,22 @@ func init() {
 				CircleSizeJit: 24,
 				IntraP:        0.76,
 				Seed:          101,
-			})
+			}), nil
 		})
 	register("GR02L", "soc-LiveJournal1 (4.85M V, 69.0M E, d̄=14.2, c=0.274)",
-		"sparse, small dense communities, mild mixing", func(s float64) *graph.CSR {
+		"sparse, small dense communities, mild mixing", func(s float64) (*graph.CSR, error) {
 			cfg := gen.DefaultLFR(scaled(32768, s), 14.2, 102)
 			cfg.MaxDegree = 120
 			cfg.Mixing = 0.25
 			cfg.MinCommunity, cfg.MaxCommunity = 12, 40
 			g, _, err := gen.LFR(cfg)
 			if err != nil {
-				panic(fmt.Sprintf("datasets: GR02L: %v", err))
+				return nil, fmt.Errorf("datasets: GR02L: %w", err)
 			}
-			return g
+			return g, nil
 		})
 	register("GR03L", "soc-Pokec (1.63M V, 30.6M E, d̄=18.8, c=0.109)",
-		"sparse communities diluted by heavy mixing", func(s float64) *graph.CSR {
+		"sparse communities diluted by heavy mixing", func(s float64) (*graph.CSR, error) {
 			cfg := gen.DefaultLFR(scaled(20480, s), 18.8, 103)
 			cfg.MaxDegree = 140
 			cfg.Mixing = 0.55
@@ -98,12 +100,12 @@ func init() {
 			cfg.MinCommunity, cfg.MaxCommunity = 14, 44
 			g, _, err := gen.LFR(cfg)
 			if err != nil {
-				panic(fmt.Sprintf("datasets: GR03L: %v", err))
+				return nil, fmt.Errorf("datasets: GR03L: %w", err)
 			}
-			return g
+			return g, nil
 		})
 	register("GR04L", "com-Orkut (3.07M V, 117.2M E, d̄=38.1, c=0.167)",
-		"medium-density communities, moderate mixing", func(s float64) *graph.CSR {
+		"medium-density communities, moderate mixing", func(s float64) (*graph.CSR, error) {
 			cfg := gen.DefaultLFR(scaled(10240, s), 38.1, 104)
 			cfg.MaxDegree = 200
 			cfg.Mixing = 0.45
@@ -111,32 +113,32 @@ func init() {
 			cfg.MinCommunity, cfg.MaxCommunity = 30, 90
 			g, _, err := gen.LFR(cfg)
 			if err != nil {
-				panic(fmt.Sprintf("datasets: GR04L: %v", err))
+				return nil, fmt.Errorf("datasets: GR04L: %w", err)
 			}
-			return g
+			return g, nil
 		})
 	register("GR05L", "kron_g500-logn21 (2.10M V, 182.1M E, d̄=86.8, c=0.165)",
-		"R-MAT/Kronecker, heavily skewed degrees", func(s float64) *graph.CSR {
+		"R-MAT/Kronecker, heavily skewed degrees", func(s float64) (*graph.CSR, error) {
 			n := scaled(8192, s)
 			scale := 0
 			for 1<<scale < n {
 				scale++
 			}
 			m := int64(n) * 43 // d̄ ≈ 86
-			return gen.RMAT(scale, m, 0.45, 0.22, 0.22, gen.WeightConfig{}, 105)
+			return gen.RMAT(scale, m, 0.45, 0.22, 0.22, gen.WeightConfig{}, 105), nil
 		})
 
 	// --- Table II stand-ins: degree sweep (cc held near the LFR default) ---
 	lfrDeg := func(id int, avg float64) {
 		name := fmt.Sprintf("LFR0%dL", id)
 		register(name, fmt.Sprintf("LFR0%d (1M V, d̄=%.1f, c≈0.40)", id, avg),
-			"LFR benchmark, degree sweep", func(s float64) *graph.CSR {
+			"LFR benchmark, degree sweep", func(s float64) (*graph.CSR, error) {
 				cfg := gen.DefaultLFR(scaled(20000, s), avg, int64(200+id))
 				g, _, err := gen.LFR(cfg)
 				if err != nil {
-					panic(fmt.Sprintf("datasets: %s: %v", name, err))
+					return nil, fmt.Errorf("datasets: %s: %w", name, err)
 				}
-				return g
+				return g, nil
 			})
 	}
 	lfrDeg(1, 44.567)
@@ -149,14 +151,14 @@ func init() {
 	lfrCC := func(id int, target float64) {
 		name := fmt.Sprintf("LFR1%dL", id)
 		register(name, fmt.Sprintf("LFR1%d (1M V, d̄=50.1, c≈%.1f)", id, target),
-			"LFR benchmark, clustering-coefficient sweep", func(s float64) *graph.CSR {
+			"LFR benchmark, clustering-coefficient sweep", func(s float64) (*graph.CSR, error) {
 				cfg := gen.DefaultLFR(scaled(12000, s), 50.129, int64(300+id))
 				g, _, err := gen.LFR(cfg)
 				if err != nil {
-					panic(fmt.Sprintf("datasets: %s: %v", name, err))
+					return nil, fmt.Errorf("datasets: %s: %w", name, err)
 				}
 				adj, _ := gen.AdjustCC(g, target, 0.02, 6_000_000, gen.WeightConfig{}, int64(400+id))
-				return adj
+				return adj, nil
 			})
 	}
 	lfrCC(1, 0.20)
@@ -225,7 +227,10 @@ func Load(name string, scale float64) (*graph.CSR, error) {
 	if hit {
 		return g, nil
 	}
-	g = e.gen(scale)
+	g, err := e.gen(scale)
+	if err != nil {
+		return nil, err
+	}
 	cacheMu.Lock()
 	cache[key] = g
 	cacheMu.Unlock()

@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -113,3 +114,32 @@ func TestScaleParameterShrinks(t *testing.T) {
 		t.Errorf("scale knob broken: %d !< %d", small.NumVertices(), big.NumVertices())
 	}
 }
+
+func TestLoadReturnsErrorNotPanic(t *testing.T) {
+	// Unknown names and generator failures must surface as returned errors;
+	// only MustLoad is allowed to panic.
+	if _, err := Load("NOPE", 1); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("unknown dataset: err = %v", err)
+	}
+	// A failing registered generator propagates its error and is not cached.
+	register("XFAIL", "test", "always fails", func(scale float64) (*graph.CSR, error) {
+		return nil, errGenFail
+	})
+	defer func() {
+		delete(registry, "XFAIL")
+		order = order[:len(order)-1]
+	}()
+	for i := 0; i < 2; i++ { // twice: the failure must not be memoized as success
+		if _, err := Load("XFAIL", 1); err != errGenFail {
+			t.Fatalf("attempt %d: err = %v, want errGenFail", i, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLoad on failing generator did not panic")
+		}
+	}()
+	MustLoad("XFAIL", 1)
+}
+
+var errGenFail = errors.New("generator exploded")

@@ -1,0 +1,221 @@
+// Package faultinject provides deterministic I/O fault injection for
+// robustness tests: writers that fail or short-write after a byte budget,
+// readers that truncate or flip bits at chosen offsets, and named fault
+// points that production code can embed at crash-critical boundaries
+// (e.g. "after the temp file is written, before the rename").
+//
+// Fault points are globally disarmed by default and cost one atomic load
+// when disarmed, so shipping them in production paths is free. Tests arm a
+// point, run the scenario, and assert that the injected fault surfaces as a
+// clean returned error — never a panic, never silent corruption.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel error produced by injected faults, so tests
+// can tell an injected failure apart from a genuine one with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FailingWriter wraps W and fails once FailAfter bytes have been written.
+// The write that crosses the budget is truncated to the remaining budget and
+// returns the short count together with the error, modeling a device that
+// runs out of space or a process killed mid-write.
+type FailingWriter struct {
+	W         io.Writer
+	FailAfter int64 // bytes accepted before failing
+	Err       error // error to return; nil → ErrInjected
+
+	written int64
+}
+
+// Written returns the number of bytes accepted before (and including) the
+// failing write.
+func (f *FailingWriter) Written() int64 { return f.written }
+
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	errOut := f.Err
+	if errOut == nil {
+		errOut = ErrInjected
+	}
+	remaining := f.FailAfter - f.written
+	if remaining <= 0 {
+		return 0, errOut
+	}
+	if int64(len(p)) <= remaining {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.W.Write(p[:remaining])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, errOut
+}
+
+// ShortWriter wraps W and accepts at most Budget bytes in total: the write
+// that would cross the budget is truncated at the boundary and returns
+// io.ErrShortWrite, as the io.Writer contract requires for partial writes.
+// It exercises caller handling of partial writes.
+type ShortWriter struct {
+	W      io.Writer
+	Budget int64
+
+	written int64
+}
+
+func (s *ShortWriter) Write(p []byte) (int, error) {
+	remaining := s.Budget - s.written
+	if remaining >= int64(len(p)) {
+		n, err := s.W.Write(p)
+		s.written += int64(n)
+		return n, err
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	n, err := s.W.Write(p[:remaining])
+	s.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, io.ErrShortWrite
+}
+
+// TruncatingReader yields only the first Limit bytes of R and then reports
+// io.ErrUnexpectedEOF, modeling a file truncated by a crash. A Limit beyond
+// the underlying stream simply passes EOF through.
+type TruncatingReader struct {
+	R     io.Reader
+	Limit int64
+
+	read int64
+}
+
+func (t *TruncatingReader) Read(p []byte) (int, error) {
+	remaining := t.Limit - t.read
+	if remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	n, err := t.R.Read(p)
+	t.read += int64(n)
+	return n, err
+}
+
+// BitFlipReader passes R through with the bits of Mask XOR-ed into the byte
+// at stream offset Offset, modeling silent single-byte corruption (bad
+// sector, cosmic ray, buggy transport).
+type BitFlipReader struct {
+	R      io.Reader
+	Offset int64
+	Mask   byte // bits to flip; 0 → 0xFF (flip all)
+
+	pos int64
+}
+
+func (b *BitFlipReader) Read(p []byte) (int, error) {
+	n, err := b.R.Read(p)
+	if n > 0 && b.Offset >= b.pos && b.Offset < b.pos+int64(n) {
+		mask := b.Mask
+		if mask == 0 {
+			mask = 0xFF
+		}
+		p[b.Offset-b.pos] ^= mask
+	}
+	b.pos += int64(n)
+	return n, err
+}
+
+// --- Named fault points ---------------------------------------------------
+
+var (
+	armed  atomic.Bool // fast path: no faults armed anywhere
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+type point struct {
+	remaining int // hits left before the fault fires
+	err       error
+	hits      int
+}
+
+// Arm schedules the named fault point to fail on its nth future hit
+// (n = 1 fails the very next hit) with the given error (nil → ErrInjected).
+// Arming replaces any previous schedule for the point.
+func Arm(name string, n int, err error) {
+	if n < 1 {
+		n = 1
+	}
+	if err == nil {
+		err = fmt.Errorf("%w at %q", ErrInjected, name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	points[name] = &point{remaining: n, err: err}
+	armed.Store(true)
+}
+
+// Disarm removes any schedule for the named fault point.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	armed.Store(len(points) > 0)
+}
+
+// Reset disarms every fault point. Tests should defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(false)
+}
+
+// Hit marks one pass through the named fault point. It returns nil unless
+// the point is armed and this hit is the scheduled one, in which case it
+// returns the armed error and disarms the point. Production code checks the
+// returned error exactly as it would a real I/O failure at that boundary.
+func Hit(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return nil
+	}
+	p.hits++
+	p.remaining--
+	if p.remaining > 0 {
+		return nil
+	}
+	delete(points, name)
+	armed.Store(len(points) > 0)
+	return p.err
+}
+
+// Hits reports how many times the named point was hit since it was last
+// armed; 0 when the point is not currently armed.
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}

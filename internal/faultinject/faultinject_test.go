@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFailingWriterBudget(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FailingWriter{W: &buf, FailAfter: 10}
+	n, err := fw.Write(make([]byte, 6))
+	if n != 6 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = fw.Write(make([]byte, 6))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v, want 4, ErrInjected", n, err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("underlying writer got %d bytes, want 10", buf.Len())
+	}
+	if n, err = fw.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write: n=%d err=%v", n, err)
+	}
+}
+
+func TestFailingWriterCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	fw := &FailingWriter{W: io.Discard, FailAfter: 0, Err: sentinel}
+	if _, err := fw.Write([]byte("x")); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	sw := &ShortWriter{W: &buf, Budget: 6}
+	if n, err := sw.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	n, err := sw.Write([]byte("efgh"))
+	if n != 2 || err != io.ErrShortWrite {
+		t.Fatalf("crossing budget: n=%d err=%v, want 2, ErrShortWrite", n, err)
+	}
+	if buf.String() != "abcdef" {
+		t.Fatalf("underlying content %q", buf.String())
+	}
+	if n, err := sw.Write([]byte("ij")); n != 0 || err != io.ErrShortWrite {
+		t.Fatalf("past budget: n=%d err=%v, want 0, ErrShortWrite", n, err)
+	}
+}
+
+func TestTruncatingReader(t *testing.T) {
+	tr := &TruncatingReader{R: bytes.NewReader([]byte("0123456789")), Limit: 4}
+	got, err := io.ReadAll(tr)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("read %q, want 0123", got)
+	}
+}
+
+func TestBitFlipReader(t *testing.T) {
+	src := []byte("hello world")
+	bf := &BitFlipReader{R: bytes.NewReader(src), Offset: 6, Mask: 0x01}
+	got, err := io.ReadAll(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[6] ^= 0x01
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+func TestBitFlipReaderAcrossSmallReads(t *testing.T) {
+	src := []byte("abcdefgh")
+	bf := &BitFlipReader{R: iotest{bytes.NewReader(src)}, Offset: 5} // Mask 0 → flip all
+	got, err := io.ReadAll(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[5] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+// iotest forces one-byte reads so the flip offset lands mid-stream.
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestFaultPointFiresOnNthHit(t *testing.T) {
+	defer Reset()
+	Arm("p", 3, nil)
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 2 fired early: %v", err)
+	}
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3: err = %v, want ErrInjected", err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("point did not disarm after firing: %v", err)
+	}
+}
+
+func TestFaultPointDisarmedIsFree(t *testing.T) {
+	Reset()
+	if err := Hit("never-armed"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestFaultPointCustomError(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("simulated crash")
+	Arm("q", 1, sentinel)
+	if err := Hit("q"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

@@ -18,6 +18,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -172,8 +173,9 @@ func (g *CSR) Validate() error {
 			if e > lo && g.neighbors[e-1] >= u {
 				return fmt.Errorf("graph: adjacency of %d not strictly sorted at arc %d", v, e)
 			}
-			if g.weights[e] <= 0 {
-				return fmt.Errorf("graph: non-positive weight %v on edge (%d,%d)", g.weights[e], v, u)
+			// !(w > 0) also catches NaN, which compares false to everything.
+			if w := g.weights[e]; !(w > 0) || math.IsInf(float64(w), 0) {
+				return fmt.Errorf("graph: non-positive or non-finite weight %v on edge (%d,%d)", w, v, u)
 			}
 			r, ok := g.FindArc(u, v)
 			if !ok {

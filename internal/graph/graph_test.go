@@ -191,6 +191,39 @@ func TestLoadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestLoadEdgeListRejectsNonFiniteWeights(t *testing.T) {
+	// A NaN/Inf/negative weight must fail parsing with the offending line
+	// number, not be clamped or poison similarity computations downstream.
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"nan", "1 2 NaN", "NaN"},
+		{"nan-lower", "1 2 nan", "NaN"},
+		{"pos-inf", "1 2 +Inf", "infinite"},
+		{"neg-inf", "1 2 -Inf", "infinite"},
+		{"inf-word", "1 2 Infinity", "infinite"},
+		{"negative", "1 2 -0.5", "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := LoadEdgeList(strings.NewReader("0 1 1.0\n"+tc.input+"\n"), LoadOptions{})
+			if err == nil {
+				t.Fatalf("input %q: want weight error", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("input %q: error %q does not mention %q", tc.input, err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "line 2") {
+				t.Errorf("input %q: error %q does not carry the line number", tc.input, err)
+			}
+		})
+	}
+	// Zero and positive weights still load.
+	if _, _, err := LoadEdgeList(strings.NewReader("0 1 0\n1 2 3.5\n"), LoadOptions{}); err != nil {
+		t.Fatalf("valid weights rejected: %v", err)
+	}
+}
+
 func TestStatsOnTriangle(t *testing.T) {
 	g := buildTriangle(t)
 	s := ComputeStats(g)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -72,6 +73,18 @@ func LoadEdgeList(r io.Reader, opts LoadOptions) (*CSR, []int64, error) {
 			wf, err := strconv.ParseFloat(fields[2], 32)
 			if err != nil {
 				return nil, nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+			// NaN propagates through σ(p,q) and makes every similarity
+			// comparison false; ±Inf and negative weights silently skew σ
+			// and the checkpoint graph fingerprint. Reject them here with
+			// the line number instead of letting them poison the CSR.
+			switch {
+			case math.IsNaN(wf):
+				return nil, nil, fmt.Errorf("graph: line %d: weight is NaN", lineNo)
+			case math.IsInf(wf, 0):
+				return nil, nil, fmt.Errorf("graph: line %d: weight is infinite", lineNo)
+			case wf < 0:
+				return nil, nil, fmt.Errorf("graph: line %d: weight %g is negative (edge weights must be >= 0)", lineNo, wf)
 			}
 			w = float32(wf)
 		}

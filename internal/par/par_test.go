@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -85,4 +87,150 @@ func TestForSumProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestForCtxNilCtxRunsToCompletion(t *testing.T) {
+	var count atomic.Int64
+	if err := ForCtx(nil, 500, 4, 8, func(i int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 500 {
+		t.Fatalf("count = %d, want 500", count.Load())
+	}
+}
+
+func TestForCtxPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int64
+		err := ForCtx(ctx, 1000, workers, 8, func(i int) { count.Add(1) })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if count.Load() != 0 {
+			t.Fatalf("workers=%d: %d iterations ran under a pre-canceled ctx", workers, count.Load())
+		}
+	}
+}
+
+func TestForCtxCancelMidRunStopsEarly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var count atomic.Int64
+		err := ForCtx(ctx, 1<<20, workers, 8, func(i int) {
+			if count.Add(1) == 100 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Claimed chunks still complete, but the loop must stop well short
+		// of the full iteration space.
+		if got := count.Load(); got >= 1<<20 {
+			t.Fatalf("workers=%d: cancellation ignored, all %d iterations ran", workers, got)
+		}
+	}
+}
+
+func TestForCtxCompletedIndicesAreContiguousChunks(t *testing.T) {
+	// Every index is either fully processed or never started: fn is not
+	// abandoned mid-call, so the hit set must be exactly the set of claimed
+	// chunks (each chunk complete).
+	const n, grain = 4096, 16
+	ctx, cancel := context.WithCancel(context.Background())
+	hits := make([]int32, n)
+	var count atomic.Int64
+	ForCtx(ctx, n, 4, grain, func(i int) {
+		atomic.StoreInt32(&hits[i], 1)
+		if count.Add(1) == 64 {
+			cancel()
+		}
+	})
+	for c := 0; c < n/grain; c++ {
+		first := hits[c*grain]
+		for i := c*grain + 1; i < (c+1)*grain; i++ {
+			if hits[i] != first {
+				t.Fatalf("chunk %d partially executed", c)
+			}
+		}
+	}
+}
+
+func TestWorkerPanicPropagatesToCaller(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				wp, ok := r.(*WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *WorkerPanic", workers, r)
+				}
+				if wp.Value != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want boom", workers, wp.Value)
+				}
+				if len(wp.Stack) == 0 {
+					t.Fatalf("workers=%d: worker stack not captured", workers)
+				}
+			}()
+			For(10000, workers, 4, func(i int) {
+				if i == 777 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestWorkerPanicStopsOtherWorkers(t *testing.T) {
+	var count atomic.Int64
+	func() {
+		defer func() { recover() }()
+		For(1<<20, 4, 4, func(i int) {
+			if count.Add(1) == 50 {
+				panic("stop")
+			}
+		})
+	}()
+	if got := count.Load(); got >= 1<<20 {
+		t.Fatalf("workers kept running after a panic: %d iterations", got)
+	}
+}
+
+func TestWorkerPanicUnwrapsErrors(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", r)
+		}
+		if !errors.Is(wp, sentinel) {
+			t.Fatalf("errors.Is failed to see through WorkerPanic: %v", wp)
+		}
+	}()
+	For(1000, 4, 4, func(i int) {
+		if i == 500 {
+			panic(sentinel)
+		}
+	})
+}
+
+func TestInlinePanicPropagatesDirectly(t *testing.T) {
+	// workers=1 runs inline: the panic reaches the caller unwrapped, with
+	// the natural stack.
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %v, want inline", r)
+		}
+	}()
+	For(10, 1, 4, func(i int) {
+		if i == 5 {
+			panic("inline")
+		}
+	})
 }
