@@ -36,8 +36,6 @@ package anyscan
 import (
 	"context"
 	"io"
-	"os"
-	"strings"
 
 	"anyscan/internal/cluster"
 	"anyscan/internal/core"
@@ -203,26 +201,7 @@ func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 // anything else → whitespace edge list (with id remapping; the returned id
 // slice is non-nil only in that case).
 func LoadGraphFile(path string) (*Graph, []int64, error) {
-	switch {
-	case strings.HasSuffix(path, ".metis"), strings.HasSuffix(path, ".graph"):
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		g, err := graph.LoadMETIS(f)
-		return g, nil, err
-	case strings.HasSuffix(path, ".bin"):
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		g, err := graph.ReadBinary(f)
-		return g, nil, err
-	default:
-		return graph.LoadEdgeListFile(path, LoadOptions{Remap: true})
-	}
+	return graph.LoadFile(path)
 }
 
 // LoadCheckpoint reconstructs a suspended anytime run over g from a

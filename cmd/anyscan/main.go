@@ -50,6 +50,12 @@ import (
 )
 
 func main() {
+	// "anyscan remote <verb>" talks to a running anyscand service instead of
+	// clustering locally; see remote.go.
+	if len(os.Args) > 1 && os.Args[1] == "remote" {
+		remoteMain(os.Args[2:])
+		return
+	}
 	input := flag.String("input", "", "graph file to cluster (.metis/.graph, .bin, or edge list)")
 	dataset := flag.String("dataset", "", "synthetic dataset stand-in to cluster instead of -input (e.g. GR01L)")
 	scale := flag.Float64("scale", 0.5, "scale factor for -dataset")
@@ -174,7 +180,6 @@ func runAnySCAN(ctx context.Context, stop context.CancelFunc, g *anyscan.Graph, 
 	start := time.Now()
 	lastCkpt := start
 	iter := 0
-	n := g.NumVertices()
 	for {
 		more, err := c.StepCtx(ctx)
 		if err != nil {
@@ -198,8 +203,7 @@ func runAnySCAN(ctx context.Context, stop context.CancelFunc, g *anyscan.Graph, 
 			continue
 		}
 		p := c.Progress()
-		fmt.Printf("[%7.2fs] iter=%d phase=%s super-nodes=%d touched=%d/%d\n",
-			time.Since(start).Seconds(), p.Iterations, p.Phase, p.SuperNodes, p.Touched, n)
+		fmt.Printf("[%7.2fs] %s\n", time.Since(start).Seconds(), formatProgress(p))
 		if interactive && !prompt(c, stdin) {
 			fmt.Println("stopped early; reporting the best-so-far clustering")
 			writeCheckpointIfConfigured(c, cfg.checkpoint)
@@ -302,6 +306,13 @@ func runSweep(g *anyscan.Graph, mu, threads int, list string) error {
 			p.Eps, p.Clusters, p.Counts.Cores, p.Counts.Borders, p.Counts.Hubs, p.Counts.Outliers)
 	}
 	return nil
+}
+
+// formatProgress renders one anytime progress report from the read-only
+// core.Progress snapshot (shared with the anyscand job-status endpoint).
+func formatProgress(p anyscan.Progress) string {
+	return fmt.Sprintf("iter=%d phase=%s super-nodes=%d touched=%d/%d σ-evals=%d",
+		p.Iterations, p.Phase, p.SuperNodes, p.Touched, p.Vertices, p.Sims)
 }
 
 // prompt handles one interactive pause; returns false to stop the run.

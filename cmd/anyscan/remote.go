@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anyscan/internal/server"
+)
+
+// remoteMain implements "anyscan remote <verb> [flags]": a thin client for a
+// running anyscand service. Every verb prints the server's JSON response.
+//
+//	anyscan remote load    -addr URL -name g -path graph.metis
+//	anyscan remote graphs  -addr URL
+//	anyscan remote evict   -addr URL -name g
+//	anyscan remote submit  -addr URL -graph g -mu 5 -eps 0.5 [-wait]
+//	anyscan remote jobs    -addr URL
+//	anyscan remote status  -addr URL -job j1
+//	anyscan remote snapshot -addr URL -job j1 [-assignments]
+//	anyscan remote result  -addr URL -job j1 [-assignments]
+//	anyscan remote pause | resume | cancel -addr URL -job j1
+//	anyscan remote cluster -addr URL -graph g -mu 5 -eps 0.5
+//	anyscan remote sweep   -addr URL -graph g -mu 5 [-eps 0.3,0.5]
+func remoteMain(args []string) {
+	if len(args) == 0 {
+		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|cluster|sweep> [flags]"))
+	}
+	verb, args := args[0], args[1:]
+	fs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "anyscand base URL")
+	name := fs.String("name", "", "graph registry name")
+	path := fs.String("path", "", "graph file path (load)")
+	dataset := fs.String("dataset", "", "synthetic dataset name (load)")
+	scale := fs.Float64("scale", 0, "dataset scale factor (load)")
+	graphName := fs.String("graph", "", "graph name (submit/cluster/sweep)")
+	mu := fs.Int("mu", 5, "μ: minimum ε-neighborhood size for cores")
+	eps := fs.Float64("eps", 0.5, "ε: structural similarity threshold")
+	epsList := fs.String("eps-list", "", "comma-separated ε values (sweep)")
+	threads := fs.Int("threads", 0, "worker count for the job (0 = server default)")
+	seed := fs.Int64("seed", 0, "random seed for the job (0 = server default)")
+	jobID := fs.String("job", "", "job id")
+	withAssignments := fs.Bool("assignments", false, "include per-vertex labels and roles")
+	wait := fs.Bool("wait", false, "submit: poll until the job finishes")
+	waitTimeout := fs.Duration("wait-timeout", 10*time.Minute, "timeout for -wait")
+	fs.Parse(args)
+
+	c := server.NewClient(strings.TrimRight(*addr, "/"))
+	needJob := func() string {
+		if *jobID == "" {
+			fatal(fmt.Errorf("remote %s needs -job ID", verb))
+		}
+		return *jobID
+	}
+	needGraph := func() string {
+		if *graphName == "" {
+			fatal(fmt.Errorf("remote %s needs -graph NAME", verb))
+		}
+		return *graphName
+	}
+
+	var out any
+	var err error
+	switch verb {
+	case "load":
+		out, err = c.LoadGraph(server.LoadGraphRequest{
+			Name:        *name,
+			GraphSource: server.GraphSource{Path: *path, Dataset: *dataset, Scale: *scale},
+		})
+	case "graphs":
+		out, err = c.ListGraphs()
+	case "evict":
+		if *name == "" {
+			fatal(fmt.Errorf("remote evict needs -name NAME"))
+		}
+		err = c.EvictGraph(*name)
+		out = map[string]string{"evicted": *name}
+	case "submit":
+		spec := server.JobSpec{Graph: needGraph(), Mu: *mu, Eps: *eps, Threads: *threads, Seed: *seed}
+		var st server.JobStatus
+		st, err = c.SubmitJob(spec)
+		out = st
+		if err == nil && *wait {
+			out, err = c.WaitJob(st.ID, *waitTimeout)
+		}
+	case "jobs":
+		out, err = c.ListJobs()
+	case "status":
+		out, err = c.JobStatus(needJob())
+	case "snapshot":
+		out, err = c.JobSnapshot(needJob(), *withAssignments)
+	case "result":
+		out, err = c.JobResult(needJob(), *withAssignments)
+	case "pause":
+		out, err = c.PauseJob(needJob())
+	case "resume":
+		out, err = c.ResumeJob(needJob())
+	case "cancel":
+		out, err = c.CancelJob(needJob())
+	case "cluster":
+		out, err = c.Cluster(needGraph(), *mu, *eps, *withAssignments)
+	case "sweep":
+		var epsValues []float64
+		if *epsList != "" {
+			for _, part := range strings.Split(*epsList, ",") {
+				v, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if perr != nil {
+					fatal(fmt.Errorf("bad -eps-list value %q", part))
+				}
+				epsValues = append(epsValues, v)
+			}
+		}
+		out, err = c.Sweep(needGraph(), *mu, epsValues)
+	default:
+		fatal(fmt.Errorf("unknown remote verb %q", verb))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

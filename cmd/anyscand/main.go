@@ -1,0 +1,127 @@
+// Command anyscand serves anySCAN clustering over HTTP: a registry of loaded
+// graphs, asynchronous anytime clustering jobs (submit / poll / snapshot /
+// pause / resume / cancel), and interactive any-ε queries answered from
+// cached sweep explorers without recomputing structural similarity.
+//
+//	anyscand -addr :8080 -checkpoint-dir /var/lib/anyscand
+//
+// With -checkpoint-dir, unfinished jobs survive daemon restarts: each has a
+// manifest and an atomic checkpoint, recovered into the paused state on
+// startup. SIGINT/SIGTERM drains gracefully — running jobs park at a
+// consistent point and checkpoint before the listener shuts down.
+//
+// Graphs can be preloaded at startup:
+//
+//	anyscand -preload graph.metis -preload name=web:web.bin -preload dataset:GR01L
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"anyscan/internal/server"
+)
+
+type preloadList []string
+
+func (p *preloadList) String() string     { return strings.Join(*p, ",") }
+func (p *preloadList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for job manifests and checkpoints (empty = jobs do not survive restarts)")
+	workers := flag.Int("workers", 2, "concurrent clustering jobs")
+	ckptSteps := flag.Int("checkpoint-every", 16, "checkpoint running jobs every N steps (0 = only on pause/drain)")
+	explorerThreads := flag.Int("explorer-threads", 0, "workers for explorer construction (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to park on shutdown")
+	var preloads preloadList
+	flag.Var(&preloads, "preload", "graph to load at startup: PATH, name=NAME:PATH, or dataset:NAME (repeatable)")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := server.New(server.Config{
+		Manager: server.ManagerConfig{
+			Workers:              *workers,
+			CheckpointDir:        *ckptDir,
+			CheckpointEverySteps: *ckptSteps,
+			Logger:               log,
+		},
+		ExplorerThreads: *explorerThreads,
+		Logger:          log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anyscand:", err)
+		os.Exit(1)
+	}
+
+	for _, spec := range preloads {
+		name, src, err := parsePreload(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anyscand:", err)
+			os.Exit(1)
+		}
+		e, err := srv.Registry().Load(name, src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anyscand:", err)
+			os.Exit(1)
+		}
+		log.Info("graph preloaded", "name", e.Name, "vertices", e.G.NumVertices(), "edges", e.G.NumEdges())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Info("anyscand listening", "addr", *addr, "checkpoint_dir", *ckptDir, "workers", *workers)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "anyscand:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		log.Info("draining on signal", "signal", sig.String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Error("drain incomplete", "err", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Error("shutdown", "err", err)
+	}
+	log.Info("anyscand stopped")
+}
+
+// parsePreload parses one -preload value: "PATH", "name=NAME:PATH", or
+// "dataset:NAME[@SCALE]".
+func parsePreload(spec string) (string, server.GraphSource, error) {
+	name := ""
+	if rest, ok := strings.CutPrefix(spec, "name="); ok {
+		n, p, ok := strings.Cut(rest, ":")
+		if !ok || n == "" || p == "" {
+			return "", server.GraphSource{}, fmt.Errorf("bad -preload %q: want name=NAME:PATH", spec)
+		}
+		name, spec = n, p
+	}
+	if ds, ok := strings.CutPrefix(spec, "dataset:"); ok {
+		scale := 0.0
+		if d, s, ok := strings.Cut(ds, "@"); ok {
+			if _, err := fmt.Sscanf(s, "%g", &scale); err != nil {
+				return "", server.GraphSource{}, fmt.Errorf("bad -preload scale in %q", spec)
+			}
+			ds = d
+		}
+		return name, server.GraphSource{Dataset: ds, Scale: scale}, nil
+	}
+	return name, server.GraphSource{Path: spec}, nil
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"anyscan/internal/bench"
+	"anyscan/internal/datasets"
 )
 
 func main() {
@@ -30,6 +31,9 @@ func main() {
 	alpha := flag.Int("alpha", cfg.Alpha, "anySCAN Step-1 block size α")
 	beta := flag.Int("beta", cfg.Beta, "anySCAN Step-2/3 block size β")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "also write a machine-readable BENCH_<date>.json (dataset × algorithm × threads: wall time, σ evaluations)")
+	jsonPath := flag.String("json-out", "", "path for the -json report (default BENCH_<date>.json)")
+	jsonSets := flag.String("json-datasets", "", "comma-separated datasets for the -json report (default: the Table I stand-ins)")
 	flag.Parse()
 
 	if *list {
@@ -51,6 +55,12 @@ func main() {
 	}
 
 	names := flag.Args()
+	if *jsonOut && len(names) == 0 {
+		// -json alone: emit the machine-readable report without re-running
+		// the text experiments.
+		writeJSONReport(cfg, *jsonSets, *jsonPath)
+		return
+	}
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "benchrunner: name experiments to run, or 'all' (-list to enumerate)")
 		os.Exit(2)
@@ -72,4 +82,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonOut {
+		writeJSONReport(cfg, *jsonSets, *jsonPath)
+	}
+}
+
+// writeJSONReport measures the -json dataset set and writes the
+// machine-readable report alongside the text output.
+func writeJSONReport(cfg bench.Config, datasetCSV, path string) {
+	names := datasets.RealNames()
+	if datasetCSV != "" {
+		names = names[:0]
+		for _, part := range strings.Split(datasetCSV, ",") {
+			names = append(names, strings.TrimSpace(part))
+		}
+	}
+	rep, err := bench.CollectRecords(cfg, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	if path == "" {
+		path = rep.DefaultJSONPath()
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(cfg.Out, "\nwrote %s (%d records)\n", path, len(rep.Records))
 }

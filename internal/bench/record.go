@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"anyscan/internal/graph"
+)
+
+// Record is one benchmark measurement in the machine-readable report: one
+// (dataset, algorithm, thread count) cell with its wall time and similarity
+// work.
+type Record struct {
+	Dataset   string  `json:"dataset"`
+	Algorithm string  `json:"algorithm"`
+	Threads   int     `json:"threads"`
+	WallMS    float64 `json:"wall_ms"`
+	SimEvals  int64   `json:"sim_evals"`
+	Clusters  int     `json:"clusters"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+}
+
+// Report is the top-level payload of BENCH_<date>.json.
+type Report struct {
+	Date       string   `json:"date"`
+	Scale      float64  `json:"scale"`
+	Mu         int      `json:"mu"`
+	Eps        float64  `json:"eps"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Records    []Record `json:"records"`
+}
+
+// CollectRecords measures every batch baseline (single-threaded; they have
+// no parallel mode) and anySCAN at each configured thread count, on each
+// named dataset.
+func CollectRecords(cfg Config, names []string) (Report, error) {
+	rep := Report{
+		Date:       time.Now().Format("2006-01-02"),
+		Scale:      cfg.Scale,
+		Mu:         cfg.Mu,
+		Eps:        cfg.Eps,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, name := range names {
+		g, err := cfg.load(name)
+		if err != nil {
+			return rep, err
+		}
+		recs, err := cfg.measureGraph(name, g)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Records = append(rep.Records, recs...)
+	}
+	return rep, nil
+}
+
+func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
+	var out []Record
+	base := Record{Dataset: name, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	for _, a := range batchAlgos() {
+		rec := base
+		rec.Algorithm = a.name
+		rec.Threads = 1
+		start := time.Now()
+		res, m := a.run(g, cfg.Mu, cfg.Eps)
+		rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		rec.SimEvals = m.Sim.Sims
+		rec.Clusters = res.NumClusters
+		out = append(out, rec)
+	}
+	for _, threads := range sortedCopy(cfg.Threads) {
+		rec := base
+		rec.Algorithm = "anySCAN"
+		rec.Threads = threads
+		res, m, wall, err := runAnySCAN(g, cfg.anyOpts(g, threads))
+		if err != nil {
+			return nil, err
+		}
+		rec.WallMS = float64(wall.Microseconds()) / 1000
+		rec.SimEvals = m.Sim.Sims
+		rec.Clusters = res.NumClusters
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteJSON writes the report to path ("BENCH_<date>.json" by convention)
+// with stable indentation.
+func (rep Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// DefaultJSONPath returns the conventional report file name for the date.
+func (rep Report) DefaultJSONPath() string {
+	return "BENCH_" + rep.Date + ".json"
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCollectRecords(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	rep, err := CollectRecords(cfg, []string{"GR01L"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 batch baselines + one anySCAN row per thread count.
+	want := 4 + len(cfg.Threads)
+	if len(rep.Records) != want {
+		t.Fatalf("got %d records, want %d", len(rep.Records), want)
+	}
+	algos := map[string]int{}
+	for _, r := range rep.Records {
+		algos[r.Algorithm]++
+		if r.Dataset != "GR01L" {
+			t.Errorf("record dataset = %q", r.Dataset)
+		}
+		if r.WallMS < 0 {
+			t.Errorf("%s: negative wall time", r.Algorithm)
+		}
+		if r.SimEvals <= 0 {
+			t.Errorf("%s (threads=%d): no similarity evaluations recorded", r.Algorithm, r.Threads)
+		}
+		if r.Vertices <= 0 || r.Edges <= 0 {
+			t.Errorf("%s: missing graph shape", r.Algorithm)
+		}
+	}
+	if algos["anySCAN"] != len(cfg.Threads) {
+		t.Errorf("anySCAN rows = %d, want %d", algos["anySCAN"], len(cfg.Threads))
+	}
+
+	// Every run is the exact clustering, so cluster counts must agree
+	// across algorithms and thread counts.
+	clusters := rep.Records[0].Clusters
+	for _, r := range rep.Records {
+		if r.Clusters != clusters {
+			t.Errorf("%s (threads=%d): %d clusters, others found %d",
+				r.Algorithm, r.Threads, r.Clusters, clusters)
+		}
+	}
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Threads = []int{1}
+	rep, err := CollectRecords(cfg, []string{"GR01L"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DefaultJSONPath() != "BENCH_"+rep.Date+".json" {
+		t.Fatalf("default path = %q", rep.DefaultJSONPath())
+	}
+	path := filepath.Join(t.TempDir(), rep.DefaultJSONPath())
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Records) != len(rep.Records) || back.Scale != cfg.Scale || back.Mu != cfg.Mu {
+		t.Fatalf("round-tripped report differs: %+v", back)
+	}
+}

@@ -108,13 +108,18 @@ func (m Metrics) LoadImbalance() float64 {
 // Unions returns the total number of merging Union operations (Fig. 12).
 func (m Metrics) Unions() int64 { return m.UnionsSeq + m.UnionsStep23 }
 
-// Progress describes where an anytime run currently stands.
+// Progress describes where an anytime run currently stands. It is the
+// read-only status surface consumed by the interactive CLI and the anyscand
+// job-status endpoint; Metrics carries the full work counters.
 type Progress struct {
 	Phase      Phase
 	Iterations int           // blocks completed so far, across all phases
 	Elapsed    time.Duration // cumulative time inside Step calls
 	SuperNodes int
-	Touched    int // vertices no longer untouched (Step 1 coverage proxy)
+	Vertices   int   // total vertices in the graph
+	Touched    int   // vertices no longer untouched (Step 1 coverage proxy)
+	Sims       int64 // structural similarity evaluations performed so far
+	Done       bool  // the run has completed (Phase == PhaseDone)
 }
 
 // New prepares an anySCAN run of g with the given options. The graph is not
@@ -187,7 +192,10 @@ func (c *Clusterer) Progress() Progress {
 		Iterations: c.iterations,
 		Elapsed:    c.elapsed,
 		SuperNodes: len(c.snRep),
+		Vertices:   len(c.state),
 		Touched:    touched,
+		Sims:       c.eng.C.Sims.Load(),
+		Done:       c.phase == PhaseDone,
 	}
 }
 

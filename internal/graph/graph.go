@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // SelfWeight is the implicit self-loop weight of the closed neighborhood
@@ -39,7 +40,8 @@ type CSR struct {
 	sqrtNorm []float64 // √l_p, cached to avoid math.Sqrt on the hot path
 	maxW     []float32 // w_p = max_{q∈N(p)} w_pq (0 for isolated vertices)
 
-	rev []int64 // reverse edge index (lazy; see ReverseEdgeIndex)
+	revOnce sync.Once
+	rev     []int64 // reverse edge index (lazy; see ReverseEdgeIndex)
 }
 
 // NumVertices returns the number of vertices.
@@ -114,36 +116,36 @@ func (g *CSR) EdgeWeight(u, v int32) float32 {
 // cached; computing it is O(|E|) using per-vertex cursors. It is used by
 // pSCAN and SCAN++ to share one similarity memo slot per undirected edge.
 //
-// Not safe to call concurrently with itself the first time; the clustering
-// algorithms call it once during setup.
+// Safe for concurrent use: first callers race to compute the index behind a
+// sync.Once, so a graph shared by several concurrent clustering runs (as in
+// the anyscand service) needs no external coordination.
 func (g *CSR) ReverseEdgeIndex() []int64 {
-	if g.rev != nil {
-		return g.rev
-	}
-	rev := make([]int64, len(g.neighbors))
-	cursor := make([]int64, g.NumVertices())
-	for v := range cursor {
-		cursor[v] = g.offsets[v]
-	}
-	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		for e := g.offsets[u]; e < g.offsets[u+1]; e++ {
-			v := g.neighbors[e]
-			if u <= v {
-				continue // handled from the smaller endpoint
-			}
-			// cursor[v] advances monotonically through v's sorted adjacency;
-			// u values arrive in increasing order for fixed v.
-			c := cursor[v]
-			for g.neighbors[c] != u {
-				c++
-			}
-			cursor[v] = c + 1
-			rev[e] = c
-			rev[c] = e
+	g.revOnce.Do(func() {
+		rev := make([]int64, len(g.neighbors))
+		cursor := make([]int64, g.NumVertices())
+		for v := range cursor {
+			cursor[v] = g.offsets[v]
 		}
-	}
-	g.rev = rev
-	return rev
+		for u := int32(0); u < int32(g.NumVertices()); u++ {
+			for e := g.offsets[u]; e < g.offsets[u+1]; e++ {
+				v := g.neighbors[e]
+				if u <= v {
+					continue // handled from the smaller endpoint
+				}
+				// cursor[v] advances monotonically through v's sorted adjacency;
+				// u values arrive in increasing order for fixed v.
+				c := cursor[v]
+				for g.neighbors[c] != u {
+					c++
+				}
+				cursor[v] = c + 1
+				rev[e] = c
+				rev[c] = e
+			}
+		}
+		g.rev = rev
+	})
+	return g.rev
 }
 
 // Validate checks structural invariants (sortedness, symmetry, no self

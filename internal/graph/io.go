@@ -118,6 +118,34 @@ func LoadEdgeListFile(path string, opts LoadOptions) (*CSR, []int64, error) {
 	return LoadEdgeList(f, opts)
 }
 
+// LoadFile loads a graph choosing the format from the file extension:
+// ".metis"/".graph" → METIS, ".bin" → the compact binary container, anything
+// else → whitespace edge list with id remapping. The returned id slice maps
+// dense vertex ids back to the original file ids and is non-nil only for the
+// edge-list case.
+func LoadFile(path string) (*CSR, []int64, error) {
+	switch {
+	case strings.HasSuffix(path, ".metis"), strings.HasSuffix(path, ".graph"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		g, err := LoadMETIS(f)
+		return g, nil, err
+	case strings.HasSuffix(path, ".bin"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		g, err := ReadBinary(f)
+		return g, nil, err
+	default:
+		return LoadEdgeListFile(path, LoadOptions{Remap: true})
+	}
+}
+
 // WriteEdgeList writes the graph as "u v w" lines, one per undirected edge
 // (u < v), in a format LoadEdgeList can read back.
 func (g *CSR) WriteEdgeList(w io.Writer) error {

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/core"
+)
+
+// This file defines the wire types of the anyscand HTTP API, shared by the
+// server handlers, the Go client, and the CLI verbs. All payloads are JSON.
+
+// GraphSource describes where a registry graph comes from, so a job manifest
+// can reload it after a daemon restart.
+type GraphSource struct {
+	// Path is a graph file (.metis/.graph, .bin, or edge list), exclusive
+	// with Dataset.
+	Path string `json:"path,omitempty"`
+	// Dataset is a synthetic dataset stand-in name (e.g. "GR01L").
+	Dataset string `json:"dataset,omitempty"`
+	// Scale is the dataset scale factor (0 → 1.0); ignored for Path.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// LoadGraphRequest asks the server to load a graph into the registry.
+type LoadGraphRequest struct {
+	// Name is the registry key; defaults to the dataset name or the file
+	// base name.
+	Name string `json:"name,omitempty"`
+	GraphSource
+}
+
+// GraphInfo describes one loaded graph.
+type GraphInfo struct {
+	Name     string      `json:"name"`
+	Source   GraphSource `json:"source"`
+	Vertices int         `json:"vertices"`
+	Edges    int64       `json:"edges"`
+	AvgDeg   float64     `json:"avg_degree"`
+	Loaded   time.Time   `json:"loaded"`
+}
+
+// JobSpec are the clustering parameters of a submitted job.
+type JobSpec struct {
+	Graph        string  `json:"graph"`
+	Mu           int     `json:"mu"`
+	Eps          float64 `json:"eps"`
+	Alpha        int     `json:"alpha,omitempty"`   // 0 → max(128, |V|/128)
+	Beta         int     `json:"beta,omitempty"`    // 0 → like alpha
+	Threads      int     `json:"threads,omitempty"` // 0 → GOMAXPROCS
+	Seed         int64   `json:"seed,omitempty"`
+	ResolveRoles bool    `json:"resolve_roles,omitempty"`
+	EdgeMemo     bool    `json:"edge_memo,omitempty"`
+}
+
+// Options converts the spec into core options for a run on a graph with n
+// vertices, applying the same automatic block sizing as the CLI.
+func (s JobSpec) Options(n int) core.Options {
+	o := core.DefaultOptions()
+	o.Mu, o.Eps = s.Mu, s.Eps
+	o.Alpha, o.Beta = s.Alpha, s.Beta
+	if o.Alpha <= 0 {
+		o.Alpha = n / 128
+		if o.Alpha < 128 {
+			o.Alpha = 128
+		}
+	}
+	if o.Beta <= 0 {
+		o.Beta = o.Alpha
+	}
+	if s.Threads > 0 {
+		o.Threads = s.Threads
+	}
+	if s.Seed != 0 {
+		o.Seed = s.Seed
+	}
+	o.ResolveRoles = s.ResolveRoles
+	o.EdgeMemo = s.EdgeMemo
+	return o
+}
+
+// JobState is the lifecycle state of an async clustering job.
+type JobState string
+
+// Job lifecycle states. Transitions:
+//
+//	queued → running → done | failed | canceled
+//	running ⇄ paused (pause/resume; drain pauses all running jobs)
+//	queued | paused → canceled
+//
+// A daemon restart recovers unfinished jobs from their manifests into the
+// paused state; resuming continues from the latest checkpoint (or from
+// scratch when the job never checkpointed).
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobPaused   JobState = "paused"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether no further transitions are possible.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// ProgressInfo is the wire form of core.Progress.
+type ProgressInfo struct {
+	Phase      string  `json:"phase"`
+	Iterations int     `json:"iterations"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	SuperNodes int     `json:"super_nodes"`
+	Vertices   int     `json:"vertices"`
+	Touched    int     `json:"touched"`
+	Sims       int64   `json:"sims"`
+	Done       bool    `json:"done"`
+}
+
+func progressInfo(p core.Progress) ProgressInfo {
+	return ProgressInfo{
+		Phase:      p.Phase.String(),
+		Iterations: p.Iterations,
+		ElapsedMS:  float64(p.Elapsed.Microseconds()) / 1000,
+		SuperNodes: p.SuperNodes,
+		Vertices:   p.Vertices,
+		Touched:    p.Touched,
+		Sims:       p.Sims,
+		Done:       p.Done,
+	}
+}
+
+// JobStatus is the job-status payload of GET /jobs and GET /jobs/{id}.
+type JobStatus struct {
+	ID            string       `json:"id"`
+	Graph         string       `json:"graph"`
+	Spec          JobSpec      `json:"spec"`
+	State         JobState     `json:"state"`
+	Error         string       `json:"error,omitempty"`
+	CheckpointErr string       `json:"checkpoint_error,omitempty"`
+	Recovered     bool         `json:"recovered,omitempty"`
+	Progress      ProgressInfo `json:"progress"`
+	Created       time.Time    `json:"created"`
+	Started       time.Time    `json:"started,omitzero"`
+	Finished      time.Time    `json:"finished,omitzero"`
+}
+
+// RoleCounts is the wire form of cluster.Counts.
+type RoleCounts struct {
+	Cores        int `json:"cores"`
+	Borders      int `json:"borders"`
+	Hubs         int `json:"hubs"`
+	Outliers     int `json:"outliers"`
+	Unclassified int `json:"unclassified"`
+}
+
+func roleCounts(c cluster.Counts) RoleCounts {
+	return RoleCounts{
+		Cores:        c.Cores,
+		Borders:      c.Borders,
+		Hubs:         c.Hubs,
+		Outliers:     c.Outliers,
+		Unclassified: c.Unclassified,
+	}
+}
+
+// Assignments is the full per-vertex clustering, requested with
+// ?assignments=1. Labels[v] is the dense cluster id or -1; Roles[v] encodes
+// cluster.Role (0 unclassified, 1 outlier, 2 hub, 3 border, 4 core).
+type Assignments struct {
+	Labels []int32 `json:"labels"`
+	Roles  []int8  `json:"roles"`
+}
+
+func assignments(r *cluster.Result) *Assignments {
+	a := &Assignments{Labels: r.Labels, Roles: make([]int8, len(r.Roles))}
+	for i, role := range r.Roles {
+		a.Roles[i] = int8(role)
+	}
+	return a
+}
+
+// ClusteringPayload is a clustering summary, shared by the anytime snapshot,
+// the final result, and the interactive /cluster query.
+type ClusteringPayload struct {
+	Clusters    int          `json:"clusters"`
+	Counts      RoleCounts   `json:"counts"`
+	Assignments *Assignments `json:"assignments,omitempty"`
+}
+
+func clusteringPayload(r *cluster.Result, withAssignments bool) ClusteringPayload {
+	p := ClusteringPayload{Clusters: r.NumClusters, Counts: roleCounts(r.RoleCounts())}
+	if withAssignments {
+		p.Assignments = assignments(r)
+	}
+	return p
+}
+
+// SnapshotResponse is the anytime snapshot of a job mid-run.
+type SnapshotResponse struct {
+	ID       string       `json:"id"`
+	State    JobState     `json:"state"`
+	Progress ProgressInfo `json:"progress"`
+	ClusteringPayload
+}
+
+// ClusterResponse answers an interactive GET /cluster query.
+type ClusterResponse struct {
+	Graph    string  `json:"graph"`
+	Mu       int     `json:"mu"`
+	Eps      float64 `json:"eps"`
+	CacheHit bool    `json:"cache_hit"`
+	BuildMS  float64 `json:"build_ms,omitempty"` // explorer build time (cache miss only)
+	QueryMS  float64 `json:"query_ms"`
+	ClusteringPayload
+}
+
+// SweepPoint is one ε of a GET /sweep response.
+type SweepPoint struct {
+	Eps      float64    `json:"eps"`
+	Clusters int        `json:"clusters"`
+	Counts   RoleCounts `json:"counts"`
+}
+
+// SweepResponse answers GET /sweep.
+type SweepResponse struct {
+	Graph    string       `json:"graph"`
+	Mu       int          `json:"mu"`
+	CacheHit bool         `json:"cache_hit"`
+	Points   []SweepPoint `json:"points"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for the anyscand API, used by the CLI verbs
+// and by tests.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the underlying client (nil → http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses become errors carrying the server message.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// LoadGraph loads a graph into the server's registry.
+func (c *Client) LoadGraph(req LoadGraphRequest) (GraphInfo, error) {
+	var info GraphInfo
+	err := c.do(http.MethodPost, "/graphs", req, &info)
+	return info, err
+}
+
+// ListGraphs returns the loaded graphs.
+func (c *Client) ListGraphs() ([]GraphInfo, error) {
+	var out []GraphInfo
+	err := c.do(http.MethodGet, "/graphs", nil, &out)
+	return out, err
+}
+
+// EvictGraph removes a graph from the registry.
+func (c *Client) EvictGraph(name string) error {
+	return c.do(http.MethodDelete, "/graphs/"+url.PathEscape(name), nil, nil)
+}
+
+// SubmitJob submits an async clustering job.
+func (c *Client) SubmitJob(spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodPost, "/jobs", spec, &st)
+	return st, err
+}
+
+// ListJobs returns the status of every job.
+func (c *Client) ListJobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(http.MethodGet, "/jobs", nil, &out)
+	return out, err
+}
+
+// JobStatus returns one job's status.
+func (c *Client) JobStatus(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodGet, "/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// JobSnapshot fetches the anytime snapshot (the best-so-far clustering).
+func (c *Client) JobSnapshot(id string, withAssignments bool) (SnapshotResponse, error) {
+	var snap SnapshotResponse
+	path := "/jobs/" + url.PathEscape(id) + "/snapshot"
+	if withAssignments {
+		path += "?assignments=1"
+	}
+	err := c.do(http.MethodGet, path, nil, &snap)
+	return snap, err
+}
+
+// JobResult fetches the final clustering of a done job.
+func (c *Client) JobResult(id string, withAssignments bool) (SnapshotResponse, error) {
+	var snap SnapshotResponse
+	path := "/jobs/" + url.PathEscape(id) + "/result"
+	if withAssignments {
+		path += "?assignments=1"
+	}
+	err := c.do(http.MethodGet, path, nil, &snap)
+	return snap, err
+}
+
+// PauseJob, ResumeJob, CancelJob drive the job lifecycle.
+func (c *Client) PauseJob(id string) (JobStatus, error)  { return c.jobVerb(id, "pause") }
+func (c *Client) ResumeJob(id string) (JobStatus, error) { return c.jobVerb(id, "resume") }
+func (c *Client) CancelJob(id string) (JobStatus, error) { return c.jobVerb(id, "cancel") }
+
+func (c *Client) jobVerb(id, verb string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/"+verb, nil, &st)
+	return st, err
+}
+
+// WaitJob polls until the job reaches a terminal state or the timeout
+// elapses, returning the last observed status.
+func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.JobStatus(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Cluster runs an interactive clustering query.
+func (c *Client) Cluster(graphName string, mu int, eps float64, withAssignments bool) (ClusterResponse, error) {
+	var resp ClusterResponse
+	q := url.Values{}
+	q.Set("graph", graphName)
+	q.Set("mu", strconv.Itoa(mu))
+	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	if withAssignments {
+		q.Set("assignments", "1")
+	}
+	err := c.do(http.MethodGet, "/cluster?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// Sweep evaluates the clustering profile across ε values. With an empty eps
+// slice the server picks interesting thresholds itself.
+func (c *Client) Sweep(graphName string, mu int, eps []float64) (SweepResponse, error) {
+	var resp SweepResponse
+	q := url.Values{}
+	q.Set("graph", graphName)
+	q.Set("mu", strconv.Itoa(mu))
+	if len(eps) > 0 {
+		parts := make([]string, len(eps))
+		for i, v := range eps {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		q.Set("eps", strings.Join(parts, ","))
+	}
+	err := c.do(http.MethodGet, "/sweep?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// Healthz reports whether the server answers its health check.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// MetricsText fetches the raw Prometheus exposition.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

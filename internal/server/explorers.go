@@ -1,0 +1,104 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"anyscan/internal/graph"
+	"anyscan/internal/sweep"
+)
+
+// explorerKey identifies a cached explorer: the sweep structure depends only
+// on the graph and μ, so every ε query for the pair shares one instance.
+type explorerKey struct {
+	graph string
+	mu    int
+}
+
+type explorerEntry struct {
+	ready   chan struct{} // closed when ex/err are set
+	ex      *sweep.Explorer
+	err     error
+	buildMS float64
+	g       *graph.CSR // the graph the explorer was built on (staleness check)
+}
+
+// explorerCache caches one sweep.Explorer per (graph, μ) with single-flight
+// construction: concurrent first queries for the same key block on one
+// build instead of each paying the O(|E|) similarity pass. Explorers are
+// safe for concurrent readers (see sweep.Explorer), so cached instances are
+// handed to every request without locking.
+type explorerCache struct {
+	mu      sync.Mutex
+	entries map[explorerKey]*explorerEntry
+	met     *Metrics
+	threads int // workers for explorer construction (0 = GOMAXPROCS)
+}
+
+func newExplorerCache(met *Metrics, threads int) *explorerCache {
+	return &explorerCache{
+		entries: make(map[explorerKey]*explorerEntry),
+		met:     met,
+		threads: threads,
+	}
+}
+
+// get returns the cached explorer for (entry, mu), building it on first use.
+// hit reports whether the explorer was already resident; buildMS is the
+// construction time paid by the request that built it (0 on hits).
+func (c *explorerCache) get(ge *GraphEntry, mu int) (ex *sweep.Explorer, hit bool, buildMS float64, err error) {
+	key := explorerKey{graph: ge.Name, mu: mu}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok && e.g != ge.G {
+		// The name was evicted and reloaded with different content; the
+		// cached explorer answers for a graph that no longer exists.
+		ok = false
+	}
+	if ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, 0, e.err
+		}
+		c.met.ExplorerHits.Add(1)
+		return e.ex, true, 0, nil
+	}
+	e = &explorerEntry{ready: make(chan struct{}), g: ge.G}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.met.ExplorerMisses.Add(1)
+	start := time.Now()
+	e.ex, e.err = sweep.NewExplorer(ge.G, mu, c.threads)
+	e.buildMS = float64(time.Since(start).Microseconds()) / 1000
+	if e.err == nil {
+		c.met.ExplorerSims.Add(ge.G.NumEdges()) // one σ per undirected edge
+	} else {
+		c.mu.Lock()
+		delete(c.entries, key) // failed builds are not cached
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.ex, false, e.buildMS, e.err
+}
+
+// evictGraph drops every cached explorer of the named graph (after a
+// registry eviction). Builds in flight complete and are then dropped on the
+// next get via the staleness check.
+func (c *explorerCache) evictGraph(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.graph == name {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// size returns the number of resident explorers.
+func (c *explorerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

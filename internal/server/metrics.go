@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (milliseconds) of the HTTP request
+// latency histogram; a final implicit +Inf bucket catches the rest.
+var latencyBuckets = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Metrics aggregates the service's observability counters. All fields are
+// atomics so handlers and workers update them without locking; /metrics
+// renders them in the Prometheus text exposition format together with
+// gauges sampled at scrape time.
+type Metrics struct {
+	JobsSubmitted atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCanceled  atomic.Int64
+	JobsRecovered atomic.Int64
+
+	QueriesServed  atomic.Int64 // /cluster + /sweep answers
+	ExplorerHits   atomic.Int64
+	ExplorerMisses atomic.Int64
+	ExplorerSims   atomic.Int64 // σ evaluations spent building explorers
+
+	HTTPRequests atomic.Int64
+	latencyCount [len(latencyBuckets) + 1]atomic.Int64
+	latencySumUS atomic.Int64
+}
+
+// ObserveLatency records one HTTP request duration in the histogram.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	m.HTTPRequests.Add(1)
+	m.latencySumUS.Add(d.Microseconds())
+	ms := float64(d.Microseconds()) / 1000
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			m.latencyCount[i].Add(1)
+			return
+		}
+	}
+	m.latencyCount[len(latencyBuckets)].Add(1)
+}
+
+// ExplorerHitRate returns hits/(hits+misses), 0 when no queries were made.
+func (m *Metrics) ExplorerHitRate() float64 {
+	h, miss := m.ExplorerHits.Load(), m.ExplorerMisses.Load()
+	if h+miss == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+miss)
+}
+
+// Gauge is one point-in-time value sampled by the server at scrape time
+// (loaded graphs, jobs per state, σ evaluations across jobs, …).
+type Gauge struct {
+	Name  string
+	Help  string
+	Value float64
+}
+
+// WritePrometheus renders every counter plus the sampled gauges in the
+// Prometheus text format (hand-rolled; the module stays stdlib-only).
+func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("anyscand_jobs_submitted_total", "Clustering jobs submitted.", m.JobsSubmitted.Load())
+	counter("anyscand_jobs_completed_total", "Clustering jobs run to completion.", m.JobsCompleted.Load())
+	counter("anyscand_jobs_failed_total", "Clustering jobs that failed.", m.JobsFailed.Load())
+	counter("anyscand_jobs_canceled_total", "Clustering jobs canceled.", m.JobsCanceled.Load())
+	counter("anyscand_jobs_recovered_total", "Jobs recovered from checkpoints after a restart.", m.JobsRecovered.Load())
+	counter("anyscand_queries_total", "Interactive /cluster and /sweep queries served.", m.QueriesServed.Load())
+	counter("anyscand_explorer_cache_hits_total", "Explorer cache hits.", m.ExplorerHits.Load())
+	counter("anyscand_explorer_cache_misses_total", "Explorer cache misses (builds).", m.ExplorerMisses.Load())
+	counter("anyscand_explorer_sim_evals_total", "Similarity evaluations spent building explorers.", m.ExplorerSims.Load())
+	counter("anyscand_http_requests_total", "HTTP requests handled.", m.HTTPRequests.Load())
+
+	fmt.Fprintf(w, "# HELP anyscand_http_request_duration_ms HTTP request latency.\n")
+	fmt.Fprintf(w, "# TYPE anyscand_http_request_duration_ms histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latencyCount[i].Load()
+		fmt.Fprintf(w, "anyscand_http_request_duration_ms_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latencyCount[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "anyscand_http_request_duration_ms_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "anyscand_http_request_duration_ms_sum %g\n", float64(m.latencySumUS.Load())/1000)
+	fmt.Fprintf(w, "anyscand_http_request_duration_ms_count %d\n", cum)
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.Name, g.Help, g.Name, g.Name, g.Value)
+	}
+}

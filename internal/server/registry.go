@@ -1,0 +1,185 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"anyscan/internal/datasets"
+	"anyscan/internal/graph"
+)
+
+// GraphEntry is one loaded graph in the registry.
+type GraphEntry struct {
+	Name   string
+	Source GraphSource
+	G      *graph.CSR
+	Loaded time.Time
+}
+
+// Info returns the wire description of the entry.
+func (e *GraphEntry) Info() GraphInfo {
+	n := e.G.NumVertices()
+	avg := 0.0
+	if n > 0 {
+		avg = float64(e.G.NumArcs()) / float64(n)
+	}
+	return GraphInfo{
+		Name:     e.Name,
+		Source:   e.Source,
+		Vertices: n,
+		Edges:    e.G.NumEdges(),
+		AvgDeg:   avg,
+		Loaded:   e.Loaded,
+	}
+}
+
+// Registry holds the graphs the service can cluster, keyed by name. Loads
+// are single-flight: concurrent requests for the same name share one load,
+// and a load in progress never blocks lookups of other graphs.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*GraphEntry
+	loading map[string]*registryLoad
+}
+
+type registryLoad struct {
+	done  chan struct{}
+	entry *GraphEntry
+	err   error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: make(map[string]*GraphEntry),
+		loading: make(map[string]*registryLoad),
+	}
+}
+
+// DefaultName returns the registry key a source is filed under when the
+// caller does not pick one: the dataset name, or the file base name.
+func (s GraphSource) DefaultName() string {
+	if s.Dataset != "" {
+		return s.Dataset
+	}
+	return filepath.Base(s.Path)
+}
+
+func (s GraphSource) validate() error {
+	switch {
+	case s.Path == "" && s.Dataset == "":
+		return fmt.Errorf("graph source needs a path or a dataset name")
+	case s.Path != "" && s.Dataset != "":
+		return fmt.Errorf("graph source must not set both path and dataset")
+	}
+	return nil
+}
+
+// load builds the graph described by the source.
+func (s GraphSource) load() (*graph.CSR, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.Dataset != "" {
+		scale := s.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		return datasets.Load(s.Dataset, scale)
+	}
+	g, _, err := graph.LoadFile(s.Path)
+	return g, err
+}
+
+// Load loads (or returns the already-loaded) graph under name. A second Load
+// of the same name with a different source fails; evict first.
+func (r *Registry) Load(name string, src GraphSource) (*GraphEntry, error) {
+	if name == "" {
+		name = src.DefaultName()
+	}
+	if err := src.validate(); err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok {
+		r.mu.Unlock()
+		if e.Source != src {
+			return nil, fmt.Errorf("graph %q is already loaded from a different source; evict it first", name)
+		}
+		return e, nil
+	}
+	if l, ok := r.loading[name]; ok {
+		r.mu.Unlock()
+		<-l.done
+		if l.err != nil {
+			return nil, l.err
+		}
+		if l.entry.Source != src {
+			return nil, fmt.Errorf("graph %q is already loaded from a different source; evict it first", name)
+		}
+		return l.entry, nil
+	}
+	l := &registryLoad{done: make(chan struct{})}
+	r.loading[name] = l
+	r.mu.Unlock()
+
+	g, err := src.load()
+	r.mu.Lock()
+	delete(r.loading, name)
+	if err != nil {
+		l.err = fmt.Errorf("loading graph %q: %w", name, err)
+	} else {
+		l.entry = &GraphEntry{Name: name, Source: src, G: g, Loaded: time.Now()}
+		r.entries[name] = l.entry
+	}
+	r.mu.Unlock()
+	close(l.done)
+	return l.entry, l.err
+}
+
+// Get returns the loaded graph under name.
+func (r *Registry) Get(name string) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("graph %q is not loaded", name)
+	}
+	return e, nil
+}
+
+// Evict removes the graph under name. Running jobs holding the graph keep
+// their reference (the CSR is immutable); only the registry entry — and any
+// cached explorers the server keys on the name — go away.
+func (r *Registry) Evict(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("graph %q is not loaded", name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// List returns every loaded graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of loaded graphs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -1,0 +1,385 @@
+// Package server implements anyscand: a long-running HTTP service that keeps
+// a registry of loaded graphs, runs anySCAN clusterings as asynchronous
+// anytime jobs on a worker pool (pause / resume / cancel / checkpoint /
+// restart recovery), and answers interactive clustering queries from cached
+// sweep explorers without recomputing structural similarity.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Manager settings (worker pool, checkpoint dir) — see ManagerConfig.
+	Manager ManagerConfig
+	// ExplorerThreads is the worker count for explorer construction
+	// (0 = GOMAXPROCS).
+	ExplorerThreads int
+	// Logger receives request and lifecycle logs (nil → slog.Default()).
+	Logger *slog.Logger
+}
+
+// Server wires the graph registry, the job manager, and the explorer cache
+// behind an http.Handler.
+type Server struct {
+	reg  *Registry
+	jobs *Manager
+	exp  *explorerCache
+	met  *Metrics
+	log  *slog.Logger
+	mux  *http.ServeMux
+}
+
+// New builds a Server, recovering any unfinished jobs from the checkpoint
+// directory.
+func New(cfg Config) (*Server, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Manager.Logger == nil {
+		cfg.Manager.Logger = cfg.Logger
+	}
+	met := &Metrics{}
+	reg := NewRegistry()
+	jobs, err := NewManager(reg, met, cfg.Manager)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:  reg,
+		jobs: jobs,
+		exp:  newExplorerCache(met, cfg.ExplorerThreads),
+		met:  met,
+		log:  cfg.Logger,
+		mux:  http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// Metrics exposes the server's counters (used by tests and the daemon).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Registry exposes the graph registry (used by the daemon for preloads).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Jobs exposes the job manager.
+func (s *Server) Jobs() *Manager { return s.jobs }
+
+// Drain stops accepting jobs, parks every running job at a consistent
+// checkpoint, and waits for them (bounded by ctx). Called on SIGTERM before
+// http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.Close(ctx) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleEvictGraph)
+
+	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/snapshot", s.handleJobSnapshot)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /jobs/{id}/pause", s.jobControl((*Manager).Pause))
+	s.mux.HandleFunc("POST /jobs/{id}/resume", s.jobControl((*Manager).Resume))
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.jobControl((*Manager).Cancel))
+
+	s.mux.HandleFunc("GET /cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /sweep", s.handleSweep)
+
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// ServeHTTP implements http.Handler with request logging and latency
+// observation around the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	d := time.Since(start)
+	s.met.ObserveLatency(d)
+	s.log.Info("request",
+		"method", r.Method, "path", r.URL.Path,
+		"status", sw.status, "ms", float64(d.Microseconds())/1000)
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// errorCode maps a domain error to an HTTP status.
+func errorCode(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "not found"), strings.Contains(msg, "not loaded"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "draining"):
+		return http.StatusServiceUnavailable
+	case strings.Contains(msg, "already"), strings.Contains(msg, "only "):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// --- graphs ---------------------------------------------------------------
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var req LoadGraphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	e, err := s.reg.Load(req.Name, req.GraphSource)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Info())
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Evict(name); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	s.exp.evictGraph(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- jobs -----------------------------------------------------------------
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, err := s.jobs.Submit(spec)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.List()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleJobSnapshot(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	res := j.Snapshot()
+	st := j.Status()
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		ID:                j.ID,
+		State:             st.State,
+		Progress:          st.Progress,
+		ClusteringPayload: clusteringPayload(res, wantAssignments(r)),
+	})
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; the final result exists only for done jobs", j.ID, j.State()))
+		return
+	}
+	st := j.Status()
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		ID:                j.ID,
+		State:             st.State,
+		Progress:          st.Progress,
+		ClusteringPayload: clusteringPayload(res, wantAssignments(r)),
+	})
+}
+
+func (s *Server) jobControl(verb func(*Manager, string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := verb(s.jobs, id); err != nil {
+			writeError(w, errorCode(err), err)
+			return
+		}
+		j, err := s.jobs.Get(id)
+		if err != nil {
+			writeError(w, errorCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func wantAssignments(r *http.Request) bool {
+	v := r.URL.Query().Get("assignments")
+	return v == "1" || v == "true"
+}
+
+// --- interactive queries --------------------------------------------------
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("graph")
+	mu, err1 := strconv.Atoi(q.Get("mu"))
+	eps, err2 := strconv.ParseFloat(q.Get("eps"), 64)
+	if name == "" || err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest,
+			errors.New("need graph=<name>&mu=<int>&eps=<float>"))
+		return
+	}
+	ge, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	ex, hit, buildMS, err := s.exp.get(ge, mu)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res := ex.ClusteringAt(eps)
+	queryMS := float64(time.Since(start).Microseconds()) / 1000
+	s.met.QueriesServed.Add(1)
+	writeJSON(w, http.StatusOK, ClusterResponse{
+		Graph:             name,
+		Mu:                mu,
+		Eps:               eps,
+		CacheHit:          hit,
+		BuildMS:           buildMS,
+		QueryMS:           queryMS,
+		ClusteringPayload: clusteringPayload(res, wantAssignments(r)),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("graph")
+	mu, err1 := strconv.Atoi(q.Get("mu"))
+	if name == "" || err1 != nil {
+		writeError(w, http.StatusBadRequest, errors.New("need graph=<name>&mu=<int>"))
+		return
+	}
+	ge, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	ex, hit, _, err := s.exp.get(ge, mu)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var epsValues []float64
+	if raw := q.Get("eps"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", part))
+				return
+			}
+			epsValues = append(epsValues, v)
+		}
+	} else {
+		limit := 16
+		if rawLimit := q.Get("limit"); rawLimit != "" {
+			if limit, err = strconv.Atoi(rawLimit); err != nil || limit <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", rawLimit))
+				return
+			}
+		}
+		epsValues = ex.InterestingThresholds(limit)
+	}
+	profiles := ex.SweepProfile(epsValues)
+	points := make([]SweepPoint, len(profiles))
+	for i, p := range profiles {
+		points[i] = SweepPoint{Eps: p.Eps, Clusters: p.Clusters, Counts: roleCounts(p.Counts)}
+	}
+	s.met.QueriesServed.Add(1)
+	writeJSON(w, http.StatusOK, SweepResponse{Graph: name, Mu: mu, CacheHit: hit, Points: points})
+}
+
+// --- observability --------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	counts := s.jobs.CountByState()
+	gauges := []Gauge{
+		{"anyscand_graphs_loaded", "Graphs resident in the registry.", float64(s.reg.Len())},
+		{"anyscand_explorers_cached", "Sweep explorers resident in the cache.", float64(s.exp.size())},
+		{"anyscand_explorer_cache_hit_rate", "Explorer cache hit rate.", s.met.ExplorerHitRate()},
+		{"anyscand_job_sim_evals", "Similarity evaluations across all jobs.", float64(s.jobs.TotalSims())},
+	}
+	for _, st := range []JobState{JobQueued, JobRunning, JobPaused, JobDone, JobFailed, JobCanceled} {
+		gauges = append(gauges, Gauge{
+			Name:  "anyscand_jobs_" + string(st),
+			Help:  fmt.Sprintf("Jobs currently %s.", st),
+			Value: float64(counts[st]),
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.WritePrometheus(w, gauges)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,607 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/core"
+	"anyscan/internal/faultinject"
+	"anyscan/internal/gen"
+	"anyscan/internal/graph"
+	"anyscan/internal/server"
+)
+
+// testGraph is a shared LFR benchmark graph, generated once: big enough that
+// a single-threaded job takes many steps (so tests can reliably pause or
+// cancel mid-run), small enough to keep the suite fast.
+var (
+	graphOnce sync.Once
+	bigGraph  *graph.CSR
+)
+
+func sharedGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	graphOnce.Do(func() {
+		g, _, err := gen.LFR(gen.DefaultLFR(40000, 10, 42))
+		if err != nil {
+			panic(err)
+		}
+		bigGraph = g
+	})
+	return bigGraph
+}
+
+// writeGraphFile serializes g into dir as a binary container (exact
+// round-trip, including isolated vertices) and returns its path.
+func writeGraphFile(t *testing.T, g *graph.CSR, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "graph.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newTestServer builds a Server plus an httptest listener and returns a
+// typed client. Cleanup drains the job pool.
+func newTestServer(t *testing.T, mcfg server.ManagerConfig) (*server.Server, *server.Client) {
+	t.Helper()
+	srv, err := server.New(server.Config{Manager: mcfg, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		ts.Close()
+	})
+	return srv, server.NewClient(ts.URL)
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// slowSpec is a job spec tuned for many small steps: single-threaded with a
+// small block size, so control requests land mid-run deterministically.
+func slowSpec(graphName string) server.JobSpec {
+	return server.JobSpec{Graph: graphName, Mu: 4, Eps: 0.4, Alpha: 32, Threads: 1, Seed: 7, ResolveRoles: true}
+}
+
+// pauseMidRun retries Pause until it lands while the job is running. Fails
+// the test if the job reaches a terminal state first.
+func pauseMidRun(t *testing.T, c *server.Client, id string) server.JobStatus {
+	t.Helper()
+	for {
+		if st, err := c.PauseJob(id); err == nil {
+			return st
+		}
+		st, err := c.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job reached %s before a pause landed", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// resultFromAssignments rebuilds a cluster.Result from the wire payload so
+// it can be compared against a batch run with cluster.Equivalent.
+func resultFromAssignments(t *testing.T, a *server.Assignments) *cluster.Result {
+	t.Helper()
+	if a == nil {
+		t.Fatal("response has no assignments")
+	}
+	r := cluster.NewResult(len(a.Labels))
+	copy(r.Labels, a.Labels)
+	for i, role := range a.Roles {
+		r.Roles[i] = cluster.Role(role)
+	}
+	r.Canonicalize()
+	return r
+}
+
+func batchResult(t *testing.T, g *graph.CSR, spec server.JobSpec) *cluster.Result {
+	t.Helper()
+	res, _, err := core.Cluster(g, spec.Options(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestE2EJobLifecycle drives the full happy path over real HTTP: load a
+// graph, submit a job, watch monotone progress, take an anytime snapshot
+// mid-run (via pause), resume, and check the final result equals the batch
+// anyscan result for the same (graph, ε, μ).
+func TestE2EJobLifecycle(t *testing.T) {
+	g := sharedGraph(t)
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 2})
+
+	info, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != g.NumVertices() || info.Edges != g.NumEdges() {
+		t.Fatalf("loaded graph %d/%d, want %d/%d", info.Vertices, info.Edges, g.NumVertices(), g.NumEdges())
+	}
+
+	spec := slowSpec("g")
+	st, err := c.SubmitJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.JobQueued && st.State != server.JobRunning {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+
+	// Anytime snapshot mid-run: pause at the next consistent point.
+	paused := pauseMidRun(t, c, st.ID)
+	for paused.State == server.JobRunning { // pause was accepted but not yet parked
+		time.Sleep(time.Millisecond)
+		if paused, err = c.JobStatus(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if paused.State != server.JobPaused {
+		t.Fatalf("after pause: state = %s", paused.State)
+	}
+	if paused.Progress.Done {
+		t.Fatal("paused mid-run but progress says done")
+	}
+	snap, err := c.JobSnapshot(st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Progress.Touched == 0 {
+		t.Fatal("mid-run snapshot shows no touched vertices")
+	}
+	if snap.Assignments == nil || len(snap.Assignments.Labels) != g.NumVertices() {
+		t.Fatal("mid-run snapshot has no per-vertex assignments")
+	}
+
+	if _, err := c.ResumeJob(st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Monotone progress while the job runs to completion.
+	prev := paused.Progress
+	for {
+		cur, err := c.JobStatus(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Progress.Iterations < prev.Iterations || cur.Progress.Touched < prev.Touched ||
+			cur.Progress.Sims < prev.Sims {
+			t.Fatalf("progress went backwards: %+v then %+v", prev, cur.Progress)
+		}
+		prev = cur.Progress
+		if cur.State.Terminal() {
+			if cur.State != server.JobDone {
+				t.Fatalf("job finished as %s (%s)", cur.State, cur.Error)
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !prev.Done || prev.Touched != g.NumVertices() {
+		t.Fatalf("final progress not complete: %+v", prev)
+	}
+
+	// Final result must equal the batch anyscan result for the same inputs.
+	res, err := c.JobResult(st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultFromAssignments(t, res.Assignments)
+	want := batchResult(t, g, spec)
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("clusters = %d, want %d", got.NumClusters, want.NumClusters)
+	}
+	if err := cluster.Equivalent(got, want); err != nil {
+		t.Fatalf("job result differs from batch run: %v", err)
+	}
+}
+
+// TestE2ECancelMidRun interrupts a running job inside its current block and
+// checks the terminal state; the anytime snapshot stays queryable, the final
+// result never exists.
+func TestE2ECancelMidRun(t *testing.T) {
+	g := sharedGraph(t)
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
+
+	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(slowSpec("g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CancelJob(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var final server.JobStatus
+	for {
+		if final, err = c.JobStatus(st.ID); err != nil {
+			t.Fatal(err)
+		}
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after cancel", final.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if final.State != server.JobCanceled {
+		t.Fatalf("state after cancel = %s", final.State)
+	}
+	if _, err := c.JobSnapshot(st.ID, false); err != nil {
+		t.Fatalf("snapshot of canceled job: %v", err)
+	}
+	if _, err := c.JobResult(st.ID, false); err == nil {
+		t.Fatal("result of a canceled job should not exist")
+	}
+}
+
+// TestE2ERestartRecovery pauses a job mid-run (writing a checkpoint), kills
+// the server, starts a fresh one on the same checkpoint directory, and
+// checks the recovered job resumes to the exact batch result.
+func TestE2ERestartRecovery(t *testing.T) {
+	g := sharedGraph(t)
+	dir := t.TempDir()
+	path := writeGraphFile(t, g, dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+	spec := slowSpec("g")
+
+	// First daemon: submit, pause mid-run, drain away.
+	srvA, err := server.New(server.Config{Manager: server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir}, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA)
+	cA := server.NewClient(tsA.URL)
+	if _, err := cA.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cA.SubmitJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pauseMidRun(t, cA, st.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srvA.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close()
+	if _, err := os.Stat(filepath.Join(ckptDir, st.ID+".ckpt")); err != nil {
+		t.Fatalf("pause left no checkpoint: %v", err)
+	}
+
+	// Second daemon on the same checkpoint dir: the job comes back paused.
+	_, cB := newTestServer(t, server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir})
+	rec, err := cB.JobStatus(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != server.JobPaused || !rec.Recovered {
+		t.Fatalf("recovered job: state=%s recovered=%v", rec.State, rec.Recovered)
+	}
+	if _, err := cB.ResumeJob(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := cB.WaitJob(st.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.JobDone {
+		t.Fatalf("recovered job finished as %s (%s)", final.State, final.Error)
+	}
+	res, err := cB.JobResult(st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultFromAssignments(t, res.Assignments)
+	want := batchResult(t, g, spec)
+	if err := cluster.Equivalent(got, want); err != nil {
+		t.Fatalf("resumed-across-restart result differs from batch run: %v", err)
+	}
+}
+
+// TestE2ECheckpointFaults injects checkpoint write failures (the job
+// survives, the error is reported) and corrupts a checkpoint on disk (the
+// restarted daemon marks the job failed instead of dying).
+func TestE2ECheckpointFaults(t *testing.T) {
+	defer faultinject.Reset()
+	g := sharedGraph(t)
+	dir := t.TempDir()
+	path := writeGraphFile(t, g, dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+
+	srvA, err := server.New(server.Config{Manager: server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir}, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA)
+	cA := server.NewClient(tsA.URL)
+	if _, err := cA.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cA.SubmitJob(slowSpec("g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed checkpoint write must not kill the job.
+	faultinject.Arm("checkpoint.write", 1, nil)
+	pauseMidRun(t, cA, st.ID)
+	status := waitState(t, cA, st.ID, server.JobPaused)
+	if status.CheckpointErr == "" || !strings.Contains(status.CheckpointErr, "injected") {
+		t.Fatalf("injected checkpoint failure not reported: %+v", status)
+	}
+
+	// The next pause writes a good checkpoint; corrupt it on disk.
+	if _, err := cA.ResumeJob(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	pauseMidRun(t, cA, st.ID)
+	status = waitState(t, cA, st.ID, server.JobPaused)
+	if status.CheckpointErr != "" {
+		t.Fatalf("clean checkpoint still reports error: %s", status.CheckpointErr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srvA.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tsA.Close()
+
+	ckpt := filepath.Join(ckptDir, st.ID+".ckpt")
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(ckpt, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted daemon must come up and expose the job as failed.
+	_, cB := newTestServer(t, server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir})
+	rec, err := cB.JobStatus(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != server.JobFailed || !strings.Contains(rec.Error, "checkpoint") {
+		t.Fatalf("corrupt checkpoint: state=%s err=%q", rec.State, rec.Error)
+	}
+}
+
+func waitState(t *testing.T, c *server.Client, id string, want server.JobState) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.JobStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job state = %s, want %s", st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestE2EInteractiveQueries exercises /cluster and /sweep: the first query
+// builds the explorer (cache miss), repeats hit the cache, answers match the
+// batch clustering, and eviction invalidates the cache.
+func TestE2EInteractiveQueries(t *testing.T) {
+	g := sharedGraph(t)
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
+	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := c.Cluster("g", 4, 0.4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	second, err := c.Cluster("g", 4, 0.55, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second query missed the explorer cache")
+	}
+
+	// The interactive answer must match a batch run at the same (ε, μ).
+	want, _, err := core.Cluster(g, server.JobSpec{Mu: 4, Eps: 0.4, ResolveRoles: true}.Options(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resultFromAssignments(t, first.Assignments)
+	if err := cluster.Equivalent(got, want); err != nil {
+		t.Fatalf("interactive clustering differs from batch run: %v", err)
+	}
+
+	sweep, err := c.Sweep("g", 4, []float64{0.3, 0.4, 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.CacheHit || len(sweep.Points) != 3 {
+		t.Fatalf("sweep: hit=%v points=%d", sweep.CacheHit, len(sweep.Points))
+	}
+	for _, p := range sweep.Points {
+		if p.Eps == 0.4 && p.Clusters != first.Clusters {
+			t.Fatalf("sweep at ε=0.4 found %d clusters, /cluster found %d", p.Clusters, first.Clusters)
+		}
+	}
+
+	// Auto-picked thresholds.
+	auto, err := c.Sweep("g", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Points) == 0 {
+		t.Fatal("sweep with auto thresholds returned no points")
+	}
+
+	// Eviction invalidates the explorer cache.
+	if err := c.EvictGraph("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cluster("g", 4, 0.4, false); err == nil {
+		t.Fatal("query against an evicted graph should fail")
+	}
+	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := c.Cluster("g", 4, 0.4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.CacheHit {
+		t.Fatal("explorer cache survived graph eviction")
+	}
+}
+
+// TestE2EMetrics checks the Prometheus endpoint reports non-zero job and
+// σ-evaluation counters after real work.
+func TestE2EMetrics(t *testing.T) {
+	g := sharedGraph(t)
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
+	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(server.JobSpec{Graph: "g", Mu: 4, Eps: 0.4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(st.ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cluster("g", 4, 0.4, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cluster("g", 4, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"anyscand_jobs_submitted_total 1",
+		"anyscand_jobs_completed_total 1",
+		"anyscand_queries_total 2",
+		"anyscand_explorer_cache_hits_total 1",
+		"anyscand_explorer_cache_misses_total 1",
+		"anyscand_graphs_loaded 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// σ-evaluation counters: explorer builds and job work both non-zero.
+	for _, prefix := range []string{"anyscand_explorer_sim_evals_total ", "anyscand_job_sim_evals "} {
+		v := metricValue(t, text, prefix)
+		if v <= 0 {
+			t.Errorf("%s= %g, want > 0", prefix, v)
+		}
+	}
+	if !strings.Contains(text, "anyscand_http_request_duration_ms_bucket") {
+		t.Error("metrics missing the latency histogram")
+	}
+}
+
+func metricValue(t *testing.T, text, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			var v float64
+			if _, err := fmt.Sscan(rest, &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %q not found", prefix)
+	return 0
+}
+
+// TestE2EDrain checks drain semantics: running jobs park with a checkpoint,
+// new submissions are rejected, and health reports draining.
+func TestE2EDrain(t *testing.T) {
+	g := sharedGraph(t)
+	dir := t.TempDir()
+	path := writeGraphFile(t, g, dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+	srv, c := newTestServer(t, server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir})
+	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(slowSpec("g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.JobStatus(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job either finished before the drain reached it or parked paused
+	// with a checkpoint on disk.
+	switch after.State {
+	case server.JobPaused:
+		if _, err := os.Stat(filepath.Join(ckptDir, st.ID+".ckpt")); err != nil {
+			t.Fatalf("drained job left no checkpoint: %v", err)
+		}
+	case server.JobDone:
+	default:
+		t.Fatalf("after drain: state = %s", after.State)
+	}
+	if _, err := c.SubmitJob(slowSpec("g")); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("submit during drain: %v", err)
+	}
+	if err := c.Healthz(); err == nil {
+		t.Fatal("healthz should fail while draining")
+	}
+}

@@ -36,6 +36,14 @@ import (
 )
 
 // Explorer answers clustering queries at arbitrary ε for a fixed (graph, μ).
+//
+// An Explorer is immutable once NewExplorer returns: every query method
+// (ClusteringAt, SweepProfile, InterestingThresholds, Dendrogram,
+// CoreThreshold, Sigma) only reads the precomputed threshold structures and
+// allocates its own scratch state (a fresh union-find per replay), so one
+// Explorer is safe for any number of concurrent readers with no external
+// locking. The anyscand service relies on this to cache a single Explorer
+// per (graph, μ) across requests.
 type Explorer struct {
 	g  *graph.CSR
 	mu int
