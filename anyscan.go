@@ -119,24 +119,68 @@ func Run(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	return c.Run(ctx)
 }
 
+// Query is one (μ, ε) clustering request, the parameter pair shared by
+// every exact algorithm here: μ is the minimum closed-neighborhood size of
+// a core, ε the similarity threshold. Threads is honored by the parallel
+// algorithms only (0 = GOMAXPROCS).
+type Query = scan.Query
+
+// Algorithm names one of the exact batch clustering algorithms Batch
+// dispatches over.
+type Algorithm = scan.Algorithm
+
+// The batch algorithms.
+const (
+	AlgoSCAN         = scan.AlgoSCAN         // original SCAN (Xu et al., KDD 2007)
+	AlgoSCANB        = scan.AlgoSCANB        // SCAN + Section III-D optimizations
+	AlgoSCANPP       = scan.AlgoSCANPP       // SCAN++ (Shiokawa et al., PVLDB 2015)
+	AlgoPSCAN        = scan.AlgoPSCAN        // pSCAN (Chang et al., ICDE 2016)
+	AlgoParallelSCAN = scan.AlgoParallelSCAN // naive parallel SCAN
+)
+
+// Algorithms returns the batch algorithms in their canonical order.
+func Algorithms() []Algorithm { return scan.Algorithms() }
+
+// ParseAlgorithm resolves a user-supplied algorithm name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return scan.ParseAlgorithm(s) }
+
+// Batch runs one exact batch algorithm on g at the query's (μ, ε). All
+// algorithms produce equivalent clusterings (identical cores, core
+// partition, and noise); they differ only in how much similarity work they
+// spend. For repeated queries on one graph, build a query Index instead.
+func Batch(g *Graph, algo Algorithm, q Query) (*Result, BatchMetrics, error) {
+	return scan.Batch(g, algo, q)
+}
+
 // SCAN runs the original SCAN algorithm (Xu et al., KDD 2007), generalized
 // to weighted graphs. Exact but evaluates 2|E| similarities.
+//
+// Deprecated: use Batch(g, AlgoSCAN, Query{Mu: mu, Eps: eps}).
 func SCAN(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCAN(g, mu, eps) }
 
 // SCANB runs SCAN-B: SCAN plus the Lemma-5 pruning and early-exit
 // optimizations (Section III-D of the paper).
+//
+// Deprecated: use Batch(g, AlgoSCANB, Query{Mu: mu, Eps: eps}).
 func SCANB(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCANB(g, mu, eps) }
 
 // PSCAN runs pSCAN (Chang et al., ICDE 2016), the strongest exact
 // sequential competitor.
+//
+// Deprecated: use Batch(g, AlgoPSCAN, Query{Mu: mu, Eps: eps}).
 func PSCAN(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.PSCAN(g, mu, eps) }
 
 // SCANPP runs SCAN++ (Shiokawa et al., PVLDB 2015).
+//
+// Deprecated: use Batch(g, AlgoSCANPP, Query{Mu: mu, Eps: eps}).
 func SCANPP(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCANPP(g, mu, eps) }
 
 // ParallelSCAN runs the naive parallelization of SCAN: all-edge similarity
 // evaluation in parallel, sequential label propagation. Exact, but not
 // work-efficient (always |E| evaluations' worth of work).
+//
+// Deprecated: use Batch(g, AlgoParallelSCAN, Query{Mu: mu, Eps: eps,
+// Threads: threads}).
 func ParallelSCAN(g *Graph, mu int, eps float64, threads int) (*Result, BatchMetrics) {
 	return scan.ParallelSCAN(g, mu, eps, threads)
 }

@@ -7,6 +7,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"anyscan"
@@ -101,19 +102,60 @@ func TestPublicRunWithContext(t *testing.T) {
 
 func TestPublicBaselinesAgree(t *testing.T) {
 	g := karate(t)
-	scanRes, _ := anyscan.SCAN(g, 3, 0.5)
-	for _, alg := range []struct {
-		name string
-		run  func(*anyscan.Graph, int, float64) (*anyscan.Result, anyscan.BatchMetrics)
-	}{
-		{"SCAN-B", anyscan.SCANB},
-		{"pSCAN", anyscan.PSCAN},
-		{"SCAN++", anyscan.SCANPP},
-	} {
-		res, _ := alg.run(g, 3, 0.5)
-		if nmi := anyscan.NMI(scanRes, res); nmi < 0.95 {
-			t.Errorf("%s: NMI vs SCAN = %v", alg.name, nmi)
+	q := anyscan.Query{Mu: 3, Eps: 0.5}
+	scanRes, _, err := anyscan.Batch(g, anyscan.AlgoSCAN, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range anyscan.Algorithms()[1:] {
+		res, _, err := anyscan.Batch(g, algo, q)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if nmi := anyscan.NMI(scanRes, res); nmi < 0.95 {
+			t.Errorf("%s: NMI vs SCAN = %v", algo, nmi)
+		}
+	}
+	// The deprecated per-algorithm wrappers stay exact aliases of Batch.
+	legacy, _ := anyscan.SCAN(g, 3, 0.5)
+	if !reflect.DeepEqual(scanRes.Labels, legacy.Labels) || !reflect.DeepEqual(scanRes.Roles, legacy.Roles) {
+		t.Error("deprecated SCAN wrapper diverged from Batch")
+	}
+	if _, _, err := anyscan.Batch(g, anyscan.Algorithm("nope"), q); err == nil {
+		t.Error("Batch accepted an unknown algorithm")
+	}
+	if _, _, err := anyscan.Batch(g, anyscan.AlgoSCAN, anyscan.Query{Mu: 0, Eps: 0.5}); err == nil {
+		t.Error("Batch accepted mu=0")
+	}
+}
+
+func TestPublicQueryIndex(t *testing.T) {
+	g := karate(t)
+	x := anyscan.NewIndex(g, 2)
+	for _, q := range []anyscan.Query{{Mu: 2, Eps: 0.4}, {Mu: 3, Eps: 0.5}, {Mu: 5, Eps: 0.6}} {
+		got, err := x.Query(q.Mu, q.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := anyscan.Reference(g, q.Mu, q.Eps)
+		if !reflect.DeepEqual(got.Labels, want.Labels) || !reflect.DeepEqual(got.Roles, want.Roles) {
+			t.Errorf("Index.Query(%d, %v) differs from Reference", q.Mu, q.Eps)
+		}
+		if err := anyscan.Validate(g, q.Mu, q.Eps, got); err != nil {
+			t.Errorf("Index.Query(%d, %v): %v", q.Mu, q.Eps, err)
+		}
+	}
+	ex, err := anyscan.ExplorerFromIndex(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromIndex := ex.ClusteringAt(0.5)
+	direct, err := x.Query(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromIndex.Labels, direct.Labels) || !reflect.DeepEqual(fromIndex.Roles, direct.Roles) {
+		t.Error("ExplorerFromIndex disagrees with Index.Query")
 	}
 }
 

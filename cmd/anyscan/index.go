@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"anyscan"
+)
+
+// indexMain implements "anyscan index <verb>": build a persisted (μ, ε)
+// query index for a graph, then answer exact clustering queries from it
+// without re-evaluating a single similarity.
+//
+//	anyscan index build -input graph.txt -o graph.idx
+//	anyscan index query -input graph.txt -index graph.idx -mu 5 -eps 0.5
+//	anyscan index query -input graph.txt -mu 5 -eps 0.3,0.5,0.7
+//
+// "query" without -index builds the index in memory first; with -index it
+// loads the persisted one (verifying the graph fingerprint) and spends zero
+// σ evaluations.
+func indexMain(args []string) {
+	if len(args) < 1 {
+		fatal(fmt.Errorf("usage: anyscan index <build|query> [flags]"))
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "build":
+		indexBuild(rest)
+	case "query":
+		indexQuery(rest)
+	default:
+		fatal(fmt.Errorf("unknown index verb %q (have build, query)", verb))
+	}
+}
+
+func indexBuild(args []string) {
+	fs := flag.NewFlagSet("index build", flag.ExitOnError)
+	input := fs.String("input", "", "graph file (.metis/.graph, .bin, or edge list)")
+	output := fs.String("o", "", "write the index here (atomic temp+fsync+rename)")
+	threads := fs.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *input == "" || *output == "" {
+		fatal(fmt.Errorf("index build needs -input FILE and -o FILE"))
+	}
+	g, _, err := anyscan.LoadGraphFile(*input)
+	if err != nil {
+		fatal(err)
+	}
+	x := anyscan.NewIndex(g, *threads)
+	if err := x.SaveFile(*output); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("index built in %v (%d σ evaluations, one per edge) and written to %s\n",
+		x.BuildTime().Round(time.Millisecond), x.SimEvals(), *output)
+}
+
+func indexQuery(args []string) {
+	fs := flag.NewFlagSet("index query", flag.ExitOnError)
+	input := fs.String("input", "", "graph file (.metis/.graph, .bin, or edge list)")
+	indexPath := fs.String("index", "", "persisted index built with 'anyscan index build' (omit to build in memory)")
+	mu := fs.Int("mu", 5, "μ: minimum ε-neighborhood size for cores")
+	epsList := fs.String("eps", "0.5", "ε value, or comma-separated ε values for a profile")
+	threads := fs.Int("threads", 0, "worker count for building/loading (0 = GOMAXPROCS)")
+	output := fs.String("o", "", "write 'vertex label role' lines here (single ε only)")
+	fs.Parse(args)
+	if *input == "" {
+		fatal(fmt.Errorf("index query needs -input FILE"))
+	}
+	var epsValues []float64
+	for _, part := range strings.Split(*epsList, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -eps entry %q: %w", part, err))
+		}
+		epsValues = append(epsValues, e)
+	}
+
+	g, ids, err := anyscan.LoadGraphFile(*input)
+	if err != nil {
+		fatal(err)
+	}
+	var x *anyscan.Index
+	if *indexPath != "" {
+		start := time.Now()
+		x, err = anyscan.LoadIndexFile(g, *indexPath, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index loaded in %v (0 σ evaluations)\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		x = anyscan.NewIndex(g, *threads)
+		fmt.Printf("index built in %v (%d σ evaluations, one per edge)\n",
+			x.BuildTime().Round(time.Millisecond), x.SimEvals())
+	}
+
+	var last *anyscan.Result
+	fmt.Println("  μ      ε  clusters    cores  borders     hubs  outliers   query")
+	for _, eps := range epsValues {
+		start := time.Now()
+		res, err := x.Query(*mu, eps)
+		if err != nil {
+			fatal(err)
+		}
+		c := res.RoleCounts()
+		fmt.Printf("%3d  %.3f  %8d  %7d  %7d  %7d  %8d  %6v\n",
+			*mu, eps, res.NumClusters, c.Cores, c.Borders, c.Hubs, c.Outliers,
+			time.Since(start).Round(time.Microsecond))
+		last = res
+	}
+	if *output != "" {
+		if len(epsValues) != 1 {
+			fatal(fmt.Errorf("-o needs exactly one -eps value"))
+		}
+		if err := writeResult(*output, last, ids); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *output)
+	}
+}

@@ -51,15 +51,20 @@ import (
 
 func main() {
 	// "anyscan remote <verb>" talks to a running anyscand service instead of
-	// clustering locally; see remote.go.
+	// clustering locally (see remote.go); "anyscan index <verb>" builds and
+	// queries persisted (μ, ε) query indexes (see index.go).
 	if len(os.Args) > 1 && os.Args[1] == "remote" {
 		remoteMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "index" {
+		indexMain(os.Args[2:])
 		return
 	}
 	input := flag.String("input", "", "graph file to cluster (.metis/.graph, .bin, or edge list)")
 	dataset := flag.String("dataset", "", "synthetic dataset stand-in to cluster instead of -input (e.g. GR01L)")
 	scale := flag.Float64("scale", 0.5, "scale factor for -dataset")
-	algorithm := flag.String("algorithm", "anyscan", "anyscan | scan | scanb | scanpp | pscan | overlap")
+	algorithm := flag.String("algorithm", "anyscan", "anyscan | scan | scanb | scanpp | pscan | parallel | overlap")
 	mu := flag.Int("mu", 5, "μ: minimum ε-neighborhood size for cores")
 	eps := flag.Float64("eps", 0.5, "ε: structural similarity threshold")
 	alpha := flag.Int("alpha", 0, "Step-1 block size α (0 = max(128, |V|/128))")
@@ -114,13 +119,15 @@ func main() {
 			checkpoint: *checkpoint, checkpointEvery: *checkpointInterval,
 			resume: *resume,
 		})
-	case "scan", "scanb", "scanpp", "pscan":
-		res = runBatch(*algorithm, g, *mu, *eps)
 	case "overlap":
 		runOverlap(g, *mu, *eps)
 		return
 	default:
-		fatal(fmt.Errorf("unknown -algorithm %q", *algorithm))
+		algo, err := anyscan.ParseAlgorithm(*algorithm)
+		if err != nil {
+			fatal(fmt.Errorf("unknown -algorithm %q", *algorithm))
+		}
+		res = runBatch(algo, g, anyscan.Query{Mu: *mu, Eps: *eps, Threads: *threads})
 	}
 
 	if *output != "" {
@@ -239,21 +246,13 @@ func writeCheckpointIfConfigured(c *anyscan.Clusterer, path string) {
 	fmt.Printf("checkpoint written to %s (resume with -resume %s)\n", path, path)
 }
 
-func runBatch(name string, g *anyscan.Graph, mu int, eps float64) *anyscan.Result {
-	var run func(*anyscan.Graph, int, float64) (*anyscan.Result, anyscan.BatchMetrics)
-	switch name {
-	case "scan":
-		run = anyscan.SCAN
-	case "scanb":
-		run = anyscan.SCANB
-	case "scanpp":
-		run = anyscan.SCANPP
-	case "pscan":
-		run = anyscan.PSCAN
+func runBatch(algo anyscan.Algorithm, g *anyscan.Graph, q anyscan.Query) *anyscan.Result {
+	res, m, err := anyscan.Batch(g, algo, q)
+	if err != nil {
+		fatal(err)
 	}
-	res, m := run(g, mu, eps)
 	counts := res.RoleCounts()
-	fmt.Printf("%s done in %v\n", name, m.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%s done in %v\n", algo, m.Elapsed.Round(time.Millisecond))
 	fmt.Printf("clusters=%d cores=%d borders=%d hubs=%d outliers=%d\n",
 		res.NumClusters, counts.Cores, counts.Borders, counts.Hubs, counts.Outliers)
 	fmt.Printf("work: %d similarity evals (+%d pruned, %d shared)\n",

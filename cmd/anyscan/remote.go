@@ -24,11 +24,12 @@ import (
 //	anyscan remote snapshot -addr URL -job j1 [-assignments]
 //	anyscan remote result  -addr URL -job j1 [-assignments]
 //	anyscan remote pause | resume | cancel -addr URL -job j1
-//	anyscan remote cluster -addr URL -graph g -mu 5 -eps 0.5
-//	anyscan remote sweep   -addr URL -graph g -mu 5 [-eps 0.3,0.5]
+//	anyscan remote query   -addr URL -graph g -mu 5 [-eps 0.5 | -eps-list 0.3,0.5 | -limit 8]
+//	anyscan remote cluster -addr URL -graph g -mu 5 -eps 0.5   (deprecated: use query)
+//	anyscan remote sweep   -addr URL -graph g -mu 5 [-eps-list 0.3,0.5]   (deprecated: use query)
 func remoteMain(args []string) {
 	if len(args) == 0 {
-		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|cluster|sweep> [flags]"))
+		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|query|cluster|sweep> [flags]"))
 	}
 	verb, args := args[0], args[1:]
 	fs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
@@ -40,7 +41,8 @@ func remoteMain(args []string) {
 	graphName := fs.String("graph", "", "graph name (submit/cluster/sweep)")
 	mu := fs.Int("mu", 5, "μ: minimum ε-neighborhood size for cores")
 	eps := fs.Float64("eps", 0.5, "ε: structural similarity threshold")
-	epsList := fs.String("eps-list", "", "comma-separated ε values (sweep)")
+	epsList := fs.String("eps-list", "", "comma-separated ε values (query/sweep profile)")
+	limit := fs.Int("limit", 0, "max auto-picked ε thresholds for a query profile (0 = server default)")
 	threads := fs.Int("threads", 0, "worker count for the job (0 = server default)")
 	seed := fs.Int64("seed", 0, "random seed for the job (0 = server default)")
 	jobID := fs.String("job", "", "job id")
@@ -101,18 +103,29 @@ func remoteMain(args []string) {
 		out, err = c.ResumeJob(needJob())
 	case "cancel":
 		out, err = c.CancelJob(needJob())
-	case "cluster":
+	case "query":
+		// -eps-list (or no ε at all) asks for a profile; a single -eps asks
+		// for the exact clustering at (μ, ε).
+		epsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "eps" {
+				epsSet = true
+			}
+		})
+		switch {
+		case *epsList != "":
+			out, err = c.QueryProfile(needGraph(), *mu, parseEpsList(*epsList), *limit)
+		case epsSet:
+			out, err = c.Query(needGraph(), *mu, *eps, *withAssignments)
+		default:
+			out, err = c.QueryProfile(needGraph(), *mu, nil, *limit)
+		}
+	case "cluster": // deprecated alias of "query" with a single ε
 		out, err = c.Cluster(needGraph(), *mu, *eps, *withAssignments)
-	case "sweep":
+	case "sweep": // deprecated alias of "query" with an ε list
 		var epsValues []float64
 		if *epsList != "" {
-			for _, part := range strings.Split(*epsList, ",") {
-				v, perr := strconv.ParseFloat(strings.TrimSpace(part), 64)
-				if perr != nil {
-					fatal(fmt.Errorf("bad -eps-list value %q", part))
-				}
-				epsValues = append(epsValues, v)
-			}
+			epsValues = parseEpsList(*epsList)
 		}
 		out, err = c.Sweep(needGraph(), *mu, epsValues)
 	default:
@@ -124,4 +137,16 @@ func remoteMain(args []string) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(out)
+}
+
+func parseEpsList(raw string) []float64 {
+	var epsValues []float64
+	for _, part := range strings.Split(raw, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -eps-list value %q", part))
+		}
+		epsValues = append(epsValues, v)
+	}
+	return epsValues
 }

@@ -1,7 +1,8 @@
 // Command anyscand serves anySCAN clustering over HTTP: a registry of loaded
 // graphs, asynchronous anytime clustering jobs (submit / poll / snapshot /
-// pause / resume / cancel), and interactive any-ε queries answered from
-// cached sweep explorers without recomputing structural similarity.
+// pause / resume / cancel), and interactive (μ, ε) queries on /v1/query,
+// answered from a per-graph query index built with a single similarity pass
+// per graph.
 //
 //	anyscand -addr :8080 -checkpoint-dir /var/lib/anyscand
 //
@@ -40,7 +41,8 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for job manifests and checkpoints (empty = jobs do not survive restarts)")
 	workers := flag.Int("workers", 2, "concurrent clustering jobs")
 	ckptSteps := flag.Int("checkpoint-every", 16, "checkpoint running jobs every N steps (0 = only on pause/drain)")
-	explorerThreads := flag.Int("explorer-threads", 0, "workers for explorer construction (0 = GOMAXPROCS)")
+	indexThreads := flag.Int("index-threads", 0, "workers for query-index construction (0 = GOMAXPROCS)")
+	flag.IntVar(indexThreads, "explorer-threads", 0, "deprecated alias of -index-threads")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to park on shutdown")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "graph to load at startup: PATH, name=NAME:PATH, or dataset:NAME (repeatable)")
@@ -54,8 +56,8 @@ func main() {
 			CheckpointEverySteps: *ckptSteps,
 			Logger:               log,
 		},
-		ExplorerThreads: *explorerThreads,
-		Logger:          log,
+		IndexThreads: *indexThreads,
+		Logger:       log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anyscand:", err)

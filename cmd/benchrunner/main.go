@@ -31,7 +31,7 @@ func main() {
 	alpha := flag.Int("alpha", cfg.Alpha, "anySCAN Step-1 block size α")
 	beta := flag.Int("beta", cfg.Beta, "anySCAN Step-2/3 block size β")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.Bool("json", false, "also write a machine-readable BENCH_<date>.json (dataset × algorithm × threads: wall time, σ evaluations)")
+	jsonOut := flag.Bool("json", false, "also write a machine-readable BENCH_<date>.json (dataset × algorithm × threads: wall time, σ evaluations; plus query-index build time and per-(μ,ε) query latencies)")
 	jsonPath := flag.String("json-out", "", "path for the -json report (default BENCH_<date>.json)")
 	jsonSets := flag.String("json-datasets", "", "comma-separated datasets for the -json report (default: the Table I stand-ins)")
 	flag.Parse()

@@ -93,8 +93,11 @@ func ExampleNewMaintainerFromGraph() {
 	// clusters restored: 2
 }
 
-func ExampleSCAN() {
-	res, metrics := anyscan.SCAN(exampleGraph(), 3, 0.6)
+func ExampleBatch() {
+	res, metrics, err := anyscan.Batch(exampleGraph(), anyscan.AlgoSCAN, anyscan.Query{Mu: 3, Eps: 0.6})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("clusters:", res.NumClusters)
 	fmt.Println("evaluations:", metrics.Sim.Sims) // 2|E| = 16
 	// Output:
@@ -102,10 +105,28 @@ func ExampleSCAN() {
 	// evaluations: 16
 }
 
+func ExampleIndex_Query() {
+	// Build the query index once (one σ evaluation per edge), then answer
+	// any (μ, ε) without further similarity work.
+	x := anyscan.NewIndex(exampleGraph(), 1)
+	for _, q := range []anyscan.Query{{Mu: 3, Eps: 0.6}, {Mu: 2, Eps: 0.4}} {
+		res, err := x.Query(q.Mu, q.Eps)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("mu=%d eps=%.1f clusters=%d\n", q.Mu, q.Eps, res.NumClusters)
+	}
+	fmt.Println("total evaluations:", x.SimEvals()) // |E| = 8
+	// Output:
+	// mu=3 eps=0.6 clusters=2
+	// mu=2 eps=0.4 clusters=1
+	// total evaluations: 8
+}
+
 func ExampleNMI() {
 	g := exampleGraph()
-	a, _ := anyscan.SCAN(g, 3, 0.6)
-	b, _ := anyscan.PSCAN(g, 3, 0.6)
+	a, _, _ := anyscan.Batch(g, anyscan.AlgoSCAN, anyscan.Query{Mu: 3, Eps: 0.6})
+	b, _, _ := anyscan.Batch(g, anyscan.AlgoPSCAN, anyscan.Query{Mu: 3, Eps: 0.6})
 	fmt.Printf("%.2f\n", anyscan.NMI(a, b))
 	// Output:
 	// 1.00

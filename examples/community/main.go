@@ -66,20 +66,14 @@ func main() {
 	}
 
 	fmt.Println("\nexact batch competitors on the same graph:")
-	type batch struct {
-		name string
-		run  func(*anyscan.Graph, int, float64) (*anyscan.Result, anyscan.BatchMetrics)
-	}
-	for _, b := range []batch{
-		{"SCAN", anyscan.SCAN},
-		{"SCAN-B", anyscan.SCANB},
-		{"SCAN++", anyscan.SCANPP},
-		{"pSCAN", anyscan.PSCAN},
-	} {
-		other, m := b.run(g, opts.Mu, opts.Eps)
+	for _, algo := range anyscan.Algorithms() {
+		other, m, err := anyscan.Batch(g, algo, anyscan.Query{Mu: opts.Mu, Eps: opts.Eps})
+		if err != nil {
+			panic(err)
+		}
 		agreement := anyscan.NMI(res, other)
-		fmt.Printf("  %-7s %8v  %9d sims  (NMI vs anySCAN: %.4f)\n",
-			b.name, m.Elapsed.Round(time.Millisecond), m.Sim.Sims, agreement)
+		fmt.Printf("  %-8s %8v  %9d sims  (NMI vs anySCAN: %.4f)\n",
+			algo, m.Elapsed.Round(time.Millisecond), m.Sim.Sims, agreement)
 	}
 	fmt.Printf("  %-7s %8v  %9d sims\n", "anySCAN", anyTime.Round(time.Millisecond), metrics.Sim.Sims)
 }

@@ -5,18 +5,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"anyscan/internal/graph"
+	"anyscan/internal/index"
 )
 
 // Record is one benchmark measurement in the machine-readable report: one
 // (dataset, algorithm, thread count) cell with its wall time and similarity
-// work.
+// work. Batch and anySCAN rows cluster at the report-level (μ, ε);
+// "index-build" rows measure the one-off σ pass of the query index, and
+// "index-query" rows carry their own per-record Mu/Eps with the latency of
+// answering that query from the index (zero σ evaluations).
 type Record struct {
 	Dataset   string  `json:"dataset"`
 	Algorithm string  `json:"algorithm"`
 	Threads   int     `json:"threads"`
+	Mu        int     `json:"mu,omitempty"`  // index-query rows only
+	Eps       float64 `json:"eps,omitempty"` // index-query rows only
 	WallMS    float64 `json:"wall_ms"`
 	SimEvals  int64   `json:"sim_evals"`
 	Clusters  int     `json:"clusters"`
@@ -88,7 +95,70 @@ func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
 		rec.Clusters = res.NumClusters
 		out = append(out, rec)
 	}
+	recs, err := cfg.measureIndex(base, g)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, recs...), nil
+}
+
+// measureIndex records the one-off query-index build (the single σ pass)
+// followed by per-query latencies over a small (μ, ε) grid — the interactive
+// workload of the GS*-style index, where every query after the build costs
+// zero similarity evaluations.
+func (cfg Config) measureIndex(base Record, g *graph.CSR) ([]Record, error) {
+	threads := 1
+	for _, t := range cfg.Threads {
+		if t > threads {
+			threads = t
+		}
+	}
+	x := index.Build(g, threads)
+
+	build := base
+	build.Algorithm = "index-build"
+	build.Threads = threads
+	build.WallMS = float64(x.BuildTime().Microseconds()) / 1000
+	build.SimEvals = x.SimEvals()
+	out := []Record{build}
+
+	for _, mu := range dedupInts([]int{2, cfg.Mu}) {
+		for _, eps := range dedupFloats([]float64{0.3, cfg.Eps, 0.7}) {
+			rec := base
+			rec.Algorithm = "index-query"
+			rec.Threads = threads
+			rec.Mu, rec.Eps = mu, eps
+			start := time.Now()
+			res, err := x.Query(mu, eps)
+			if err != nil {
+				return nil, err
+			}
+			rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+			rec.Clusters = res.NumClusters
+			out = append(out, rec)
+		}
+	}
 	return out, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || !slices.Contains(out, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || !slices.Contains(out, x) {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the report to path ("BENCH_<date>.json" by convention)

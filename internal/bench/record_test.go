@@ -15,8 +15,9 @@ func TestCollectRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 batch baselines + one anySCAN row per thread count.
-	want := 4 + len(cfg.Threads)
+	// 4 batch baselines + one anySCAN row per thread count + 1 index build
+	// + a 2×3 (μ, ε) query grid.
+	want := 4 + len(cfg.Threads) + 1 + 6
 	if len(rep.Records) != want {
 		t.Fatalf("got %d records, want %d", len(rep.Records), want)
 	}
@@ -29,7 +30,16 @@ func TestCollectRecords(t *testing.T) {
 		if r.WallMS < 0 {
 			t.Errorf("%s: negative wall time", r.Algorithm)
 		}
-		if r.SimEvals <= 0 {
+		if r.Algorithm == "index-query" {
+			// Queries are answered from the prebuilt index: no σ work, and
+			// the probed parameters ride along in the record.
+			if r.SimEvals != 0 {
+				t.Errorf("index-query (μ=%d ε=%g): %d σ evaluations, want 0", r.Mu, r.Eps, r.SimEvals)
+			}
+			if r.Mu < 1 || r.Eps <= 0 {
+				t.Errorf("index-query record missing parameters: %+v", r)
+			}
+		} else if r.SimEvals <= 0 {
 			t.Errorf("%s (threads=%d): no similarity evaluations recorded", r.Algorithm, r.Threads)
 		}
 		if r.Vertices <= 0 || r.Edges <= 0 {
@@ -39,12 +49,22 @@ func TestCollectRecords(t *testing.T) {
 	if algos["anySCAN"] != len(cfg.Threads) {
 		t.Errorf("anySCAN rows = %d, want %d", algos["anySCAN"], len(cfg.Threads))
 	}
+	if algos["index-build"] != 1 || algos["index-query"] != 6 {
+		t.Errorf("index rows = %d build + %d query, want 1 + 6", algos["index-build"], algos["index-query"])
+	}
 
-	// Every run is the exact clustering, so cluster counts must agree
-	// across algorithms and thread counts.
+	// Every batch/anySCAN run is the exact clustering at the report (μ, ε),
+	// so cluster counts must agree across algorithms and thread counts — and
+	// the index answer at the same parameters must match too.
 	clusters := rep.Records[0].Clusters
 	for _, r := range rep.Records {
-		if r.Clusters != clusters {
+		switch {
+		case r.Algorithm == "index-build":
+		case r.Algorithm == "index-query":
+			if r.Mu == cfg.Mu && r.Eps == cfg.Eps && r.Clusters != clusters {
+				t.Errorf("index-query at the report (μ, ε): %d clusters, batch found %d", r.Clusters, clusters)
+			}
+		case r.Clusters != clusters:
 			t.Errorf("%s (threads=%d): %d clusters, others found %d",
 				r.Algorithm, r.Threads, r.Clusters, clusters)
 		}

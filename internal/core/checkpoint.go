@@ -2,50 +2,38 @@ package core
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
-	"hash/crc32"
-	"hash/fnv"
 	"io"
-	"math"
 	"time"
 
+	"anyscan/internal/frame"
 	"anyscan/internal/graph"
 	"anyscan/internal/simeval"
 	"anyscan/internal/unionfind"
 )
 
-// Checkpoint container format v2. A checkpoint is a fixed little-endian
-// frame header followed by a gob payload:
-//
-//	offset  size  field
-//	     0     4  magic   (0xA17C5CC2)
-//	     4     4  version (2)
-//	     8     8  payload length in bytes
-//	    16     4  CRC-32 (IEEE) of the payload
-//	    20     …  gob-encoded checkpointState
-//
-// The magic rejects arbitrary files immediately, the length detects
-// truncation before gob produces a confusing partial decode, and the CRC
-// detects any bit-level corruption of the payload. Integrity of the header
-// itself is implied: a corrupted magic/version fails those checks, a
-// corrupted length or CRC fails the truncation or checksum check.
-const (
-	checkpointMagic   = uint32(0xA17C5CC2)
-	checkpointVersion = 2
+// Checkpoint container format v2: the shared framed+CRC container of package
+// frame (magic, version, payload length, CRC-32) wrapping a gob-encoded
+// checkpointState. See frame for the integrity guarantees.
+const checkpointVersion = 2
 
-	// maxCheckpointPayload bounds the declared payload length so a corrupt
-	// or hostile header cannot force an enormous allocation.
-	maxCheckpointPayload = int64(1) << 36
-)
+// checkpointKind is the frame parameterization of the checkpoint artifact.
+// MaxPayload bounds the declared payload length so a corrupt or hostile
+// header cannot force an enormous allocation.
+var checkpointKind = frame.Kind{
+	Magic:      0xA17C5CC2,
+	Version:    checkpointVersion,
+	Name:       "checkpoint",
+	MaxPayload: int64(1) << 36,
+}
 
 // checkpointState is the gob payload of a suspended run. The graph itself
 // is not serialized — the caller supplies it again at load time and a
 // fingerprint check rejects mismatches.
 type checkpointState struct {
 	Version int
-	Graph   graphFingerprint
+	Graph   graph.Fingerprint
 
 	Opt Options
 
@@ -78,42 +66,12 @@ type checkpointState struct {
 	Sim          simeval.CounterValues
 }
 
-type graphFingerprint struct {
-	Vertices int
-	Arcs     int64
-	Hash     uint64
-}
-
-func fingerprint(g *graph.CSR) graphFingerprint {
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	put := func(x int64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(x >> (8 * i))
-		}
-		h.Write(buf)
-	}
-	n := int32(g.NumVertices())
-	put(int64(n))
-	for v := int32(0); v < n; v++ {
-		lo, hi := g.NeighborRange(v)
-		put(hi - lo)
-		for e := lo; e < hi; e++ {
-			q, w := g.Arc(e)
-			put(int64(q)<<32 | int64(int32(floatBits(w))))
-		}
-	}
-	return graphFingerprint{Vertices: g.NumVertices(), Arcs: g.NumArcs(), Hash: h.Sum64()}
-}
-
-func floatBits(f float32) uint32 { return math.Float32bits(f) }
-
 // checkpointSnapshot captures the complete run state as a serializable
 // payload. Call it only between Step invocations.
 func (c *Clusterer) checkpointSnapshot() checkpointState {
 	st := checkpointState{
 		Version:      checkpointVersion,
-		Graph:        fingerprint(c.g),
+		Graph:        graph.FingerprintOf(c.g),
 		Opt:          c.opt,
 		State:        c.state,
 		Nei:          c.nei,
@@ -141,60 +99,6 @@ func (c *Clusterer) checkpointSnapshot() checkpointState {
 	return st
 }
 
-// writeCheckpointFrame frames and writes an encoded payload.
-func writeCheckpointFrame(w io.Writer, payload []byte) error {
-	var hdr [20]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], checkpointMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], checkpointVersion)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("anyscan: writing checkpoint header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("anyscan: writing checkpoint payload: %w", err)
-	}
-	return nil
-}
-
-// readCheckpointFrame reads and verifies a frame, returning the payload.
-func readCheckpointFrame(r io.Reader) ([]byte, error) {
-	var hdr [20]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("anyscan: reading checkpoint header: %w", err)
-	}
-	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != checkpointMagic {
-		return nil, fmt.Errorf("anyscan: not a checkpoint file (magic %#x, want %#x)", m, checkpointMagic)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkpointVersion {
-		return nil, fmt.Errorf("anyscan: checkpoint format version %d not supported (want %d)", v, checkpointVersion)
-	}
-	size := binary.LittleEndian.Uint64(hdr[8:16])
-	if size == 0 || size > uint64(maxCheckpointPayload) {
-		return nil, fmt.Errorf("anyscan: implausible checkpoint payload length %d", size)
-	}
-	// Read in bounded chunks so a corrupt length field cannot force a huge
-	// upfront allocation before the (short) stream runs out.
-	const chunk = 1 << 20
-	payload := make([]byte, 0, min(size, chunk))
-	for uint64(len(payload)) < size {
-		c := size - uint64(len(payload))
-		if c > chunk {
-			c = chunk
-		}
-		start := len(payload)
-		payload = append(payload, make([]byte, c)...)
-		if _, err := io.ReadFull(r, payload[start:]); err != nil {
-			return nil, fmt.Errorf("anyscan: checkpoint truncated (declared %d payload bytes): %w", size, err)
-		}
-	}
-	want := binary.LittleEndian.Uint32(hdr[16:20])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("anyscan: checkpoint payload corrupted (CRC-32 %#x, want %#x)", got, want)
-	}
-	return payload, nil
-}
-
 // SaveCheckpoint serializes the complete run state so it can be resumed
 // later — possibly in another process — with LoadCheckpoint. The payload is
 // wrapped in the framed v2 container (magic, version, length, CRC-32), so
@@ -212,7 +116,7 @@ func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
 	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
 		return fmt.Errorf("anyscan: encoding checkpoint: %w", err)
 	}
-	return writeCheckpointFrame(w, buf.Bytes())
+	return checkpointKind.Write(w, buf.Bytes())
 }
 
 // LoadCheckpoint reconstructs a suspended Clusterer over g from a
@@ -227,7 +131,7 @@ func (c *Clusterer) SaveCheckpoint(w io.Writer) error {
 // buggy writer) yields an error instead of out-of-range panics or a
 // silently poisoned resumed run.
 func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
-	payload, err := readCheckpointFrame(r)
+	payload, err := checkpointKind.Read(r)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +142,7 @@ func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
 	if st.Version != checkpointVersion {
 		return nil, fmt.Errorf("anyscan: checkpoint version %d not supported", st.Version)
 	}
-	if fp := fingerprint(g); fp != st.Graph {
+	if fp := graph.FingerprintOf(g); fp != st.Graph {
 		return nil, fmt.Errorf("anyscan: checkpoint was taken on a different graph (fingerprint %x vs %x)", st.Graph.Hash, fp.Hash)
 	}
 	opt := st.Opt

@@ -90,7 +90,7 @@ func reframe(t *testing.T, st checkpointState) []byte {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := writeCheckpointFrame(&out, payload.Bytes()); err != nil {
+	if err := checkpointKind.Write(&out, payload.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	return out.Bytes()

@@ -1,0 +1,275 @@
+// Package index implements a GS*-Index-style query structure for structural
+// graph clustering: pay the Θ(|E|) similarity cost once per graph, then
+// answer exact SCAN clusterings for *any* (μ, ε) parameter pair in time
+// proportional to the similar-neighborhood prefixes the answer actually
+// touches — no σ is ever recomputed.
+//
+// This generalizes package sweep, which fixes μ at build time, to the full
+// two-parameter query problem of GS*-Index (Tseng, Dhulipala & Shun;
+// see PAPERS.md): because σ values do not depend on μ, one evaluation pass
+// plus per-vertex neighbor orders sorted by descending σ suffice for every
+// (μ, ε). From the sorted order,
+//
+//   - coreThr(v, μ) — the largest ε at which v is a core — is an O(1)
+//     lookup: it is the (μ-1)-th largest σ among v's arcs (σ(v,v)=1
+//     supplies the μ-th similar member);
+//   - the ε-similar neighbors of v are exactly a prefix of v's order;
+//   - the cores at (μ, ε) are exactly a prefix of the per-μ core order
+//     (vertices sorted by descending coreThr), which the index derives
+//     lazily and memoizes the first time a μ value is queried.
+//
+// A Query(μ, ε) therefore walks only core-order and neighbor-order prefixes,
+// unions cores along similar core-core edges, and attaches borders — the
+// same replay semantics as sweep.Explorer.ClusteringAt, so results are
+// byte-identical to cluster.Reference after canonicalization.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/graph"
+	"anyscan/internal/par"
+	"anyscan/internal/simeval"
+	"anyscan/internal/unionfind"
+)
+
+// Index answers exact (μ, ε) clustering queries for one graph.
+//
+// An Index is immutable after Build/Load apart from the lazily memoized
+// per-μ core orders, which are guarded internally; every method is safe for
+// any number of concurrent callers with no external locking. The anyscand
+// service relies on this to cache a single Index per graph across requests.
+type Index struct {
+	g *graph.CSR
+
+	// sigma[e] is the activation threshold of arc e in CSR arc order: the
+	// largest representable ε at which the similarity predicate of the arc's
+	// endpoints still holds (simeval.Crossing of the exact numerator and
+	// denominator). Symmetric across arc mirrors. Retained in arc order so
+	// persistence and sweep.FromIndex can consume it directly.
+	sigma []float64
+
+	// nbr/nbrSig are the per-vertex neighbor orders, parallel to the CSR
+	// offset ranges: within each vertex's range, neighbors sorted by σ
+	// descending (ties by neighbor id ascending). The ε-similar neighbors of
+	// v are the maximal prefix with nbrSig ≥ ε.
+	nbr    []int32
+	nbrSig []float64
+
+	simEvals int64         // exact σ evaluations spent building (0 for loads)
+	buildTau time.Duration // wall time of Build (0 for loads)
+
+	mu     sync.Mutex
+	orders map[int]*coreOrder // μ → memoized core order
+}
+
+// coreOrder is the per-μ structure: all vertices with a positive core
+// threshold, sorted by descending threshold (ties by id ascending). The
+// cores at ε are exactly the prefix with thr ≥ ε.
+type coreOrder struct {
+	verts []int32
+	thr   []float64
+}
+
+// Build evaluates all |E| similarities with the given number of workers and
+// sorts every vertex's neighbor order. Cost: one exact σ per undirected edge
+// plus an O(|E| log d_max) sort, both parallelized; this is the only σ pass
+// the index will ever perform.
+func Build(g *graph.CSR, threads int) *Index {
+	start := time.Now()
+	n := g.NumVertices()
+	eng := simeval.New(g, 0, simeval.Options{}) // exact values: no pruning
+	rev := g.ReverseEdgeIndex()
+
+	sigma := make([]float64, g.NumArcs())
+	par.For(n, threads, 16, func(i int) {
+		v := int32(i)
+		lo, hi := g.NeighborRange(v)
+		for e := lo; e < hi; e++ {
+			q, w := g.Arc(e)
+			if v < q {
+				eng.C.Sims.Add(1)
+				num, denom := eng.EdgeNumerator(v, q, w)
+				s := simeval.Crossing(num, denom)
+				sigma[e] = s
+				sigma[rev[e]] = s
+			}
+		}
+	})
+
+	x := &Index{
+		g:        g,
+		sigma:    sigma,
+		simEvals: eng.C.Sims.Load(),
+		orders:   map[int]*coreOrder{},
+	}
+	x.sortNeighbors(threads)
+	x.buildTau = time.Since(start)
+	return x
+}
+
+// sortNeighbors derives nbr/nbrSig from the arc-order sigma slice.
+func (x *Index) sortNeighbors(threads int) {
+	g := x.g
+	x.nbr = make([]int32, g.NumArcs())
+	x.nbrSig = make([]float64, g.NumArcs())
+	par.For(g.NumVertices(), threads, 32, func(i int) {
+		v := int32(i)
+		lo, hi := g.NeighborRange(v)
+		deg := int(hi - lo)
+		ord := make([]int32, deg)
+		for j := range ord {
+			ord[j] = int32(j)
+		}
+		sort.Slice(ord, func(a, b int) bool {
+			sa, sb := x.sigma[lo+int64(ord[a])], x.sigma[lo+int64(ord[b])]
+			if sa != sb {
+				return sa > sb
+			}
+			qa, _ := g.Arc(lo + int64(ord[a]))
+			qb, _ := g.Arc(lo + int64(ord[b]))
+			return qa < qb
+		})
+		for j, o := range ord {
+			q, _ := g.Arc(lo + int64(o))
+			x.nbr[lo+int64(j)] = q
+			x.nbrSig[lo+int64(j)] = x.sigma[lo+int64(o)]
+		}
+	})
+}
+
+// Graph returns the graph the index was built over.
+func (x *Index) Graph() *graph.CSR { return x.g }
+
+// SimEvals returns the number of exact σ evaluations Build performed: one
+// per undirected edge, or 0 for an index restored by Load.
+func (x *Index) SimEvals() int64 { return x.simEvals }
+
+// BuildTime returns the wall time Build took (0 for an index restored by
+// Load).
+func (x *Index) BuildTime() time.Duration { return x.buildTau }
+
+// Sigma returns the activation threshold of arc e (the largest ε at which
+// the arc's endpoints are similar). Arcs are in CSR order, mirrors agree.
+func (x *Index) Sigma(arc int64) float64 { return x.sigma[arc] }
+
+// ArcSigmas returns the per-arc activation thresholds in CSR arc order.
+// The slice is the index's own backing storage, shared to avoid copying
+// |E| floats: callers must treat it as read-only. sweep.FromIndex uses it
+// to derive a μ-fixed Explorer without a second similarity pass.
+func (x *Index) ArcSigmas() []float64 { return x.sigma }
+
+// CoreThreshold returns the largest ε at which v is a core at the given μ
+// (0 = never a core). O(1): the (μ-1)-th largest σ among v's arcs, read off
+// the sorted neighbor order; σ(v,v)=1 supplies v's own membership.
+func (x *Index) CoreThreshold(v int32, mu int) float64 {
+	if mu <= 1 {
+		return 1
+	}
+	lo, hi := x.g.NeighborRange(v)
+	need := mu - 1
+	if int(hi-lo) < need {
+		return 0
+	}
+	return x.nbrSig[lo+int64(need-1)]
+}
+
+// coreOrderFor returns the memoized core order for μ, deriving it on first
+// use: one O(1) threshold lookup per vertex plus an O(k log k) sort over the
+// k vertices that can ever be cores at this μ.
+func (x *Index) coreOrderFor(mu int) *coreOrder {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if co, ok := x.orders[mu]; ok {
+		return co
+	}
+	n := x.g.NumVertices()
+	co := &coreOrder{}
+	for v := int32(0); v < int32(n); v++ {
+		if t := x.CoreThreshold(v, mu); t > 0 {
+			co.verts = append(co.verts, v)
+			co.thr = append(co.thr, t)
+		}
+	}
+	ord := make([]int32, len(co.verts))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if co.thr[ord[a]] != co.thr[ord[b]] {
+			return co.thr[ord[a]] > co.thr[ord[b]]
+		}
+		return co.verts[ord[a]] < co.verts[ord[b]]
+	})
+	verts := make([]int32, len(ord))
+	thr := make([]float64, len(ord))
+	for i, o := range ord {
+		verts[i] = co.verts[o]
+		thr[i] = co.thr[o]
+	}
+	co.verts, co.thr = verts, thr
+	x.orders[mu] = co
+	return co
+}
+
+// Query returns the exact SCAN clustering at (μ, ε) without recomputing any
+// similarity. Work beyond the O(|V|) result allocation is proportional to
+// the similar-neighborhood prefixes of the cores at (μ, ε).
+//
+// Borders claimed by several clusters attach to their smallest qualifying
+// core, making the output deterministic: after canonicalization it is
+// byte-identical to cluster.Reference (and to sweep.Explorer.ClusteringAt).
+func (x *Index) Query(mu int, eps float64) (*cluster.Result, error) {
+	if mu < 1 {
+		return nil, fmt.Errorf("index: mu must be >= 1, got %d", mu)
+	}
+	if !(eps > 0 && eps <= 1) {
+		return nil, fmt.Errorf("index: eps must be in (0,1], got %v", eps)
+	}
+	n := x.g.NumVertices()
+	co := x.coreOrderFor(mu)
+	// Cores at ε are the order prefix with thr ≥ ε.
+	k := sort.Search(len(co.verts), func(i int) bool { return co.thr[i] < eps })
+	cores := co.verts[:k]
+
+	ds := unionfind.New(n)
+	claim := make([]int32, n) // border v → smallest adjacent qualifying core
+	for i := range claim {
+		claim[i] = -1
+	}
+	for _, u := range cores {
+		lo, hi := x.g.NeighborRange(u)
+		for e := lo; e < hi; e++ {
+			if x.nbrSig[e] < eps {
+				break // sorted descending: the rest are dissimilar too
+			}
+			q := x.nbr[e]
+			if x.CoreThreshold(q, mu) >= eps {
+				if u < q { // each core-core edge once
+					ds.Union(u, q)
+				}
+			} else if c := claim[q]; c == -1 || u < c {
+				claim[q] = u
+			}
+		}
+	}
+
+	res := cluster.NewResult(n)
+	for _, u := range cores {
+		res.Roles[u] = cluster.Core
+		res.Labels[u] = ds.Find(u)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if c := claim[v]; c >= 0 {
+			res.Roles[v] = cluster.Border
+			res.Labels[v] = ds.Find(c)
+		}
+	}
+	cluster.ClassifyNoise(x.g, res)
+	res.Canonicalize()
+	return res, nil
+}

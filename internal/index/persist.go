@@ -1,0 +1,122 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"anyscan/internal/frame"
+	"anyscan/internal/graph"
+)
+
+// Index container format v1: the shared framed+CRC container of package
+// frame wrapping a gob-encoded indexPayload. Only the arc-order σ slice is
+// persisted — the sorted neighbor orders and per-μ core orders are cheap,
+// deterministic derivations and are rebuilt on load, which keeps the file a
+// third of the in-memory size and the format independent of query history.
+const indexVersion = 1
+
+// indexKind is the frame parameterization of the persisted-index artifact.
+// MaxPayload bounds the declared payload length so a corrupt or hostile
+// header cannot force an enormous allocation.
+var indexKind = frame.Kind{
+	Magic:      0xA17C1DE5,
+	Version:    indexVersion,
+	Name:       "index",
+	MaxPayload: int64(1) << 36,
+}
+
+// indexPayload is the gob payload of a persisted index. The graph itself is
+// not serialized — the caller supplies it again at load time and a
+// fingerprint check rejects mismatches.
+type indexPayload struct {
+	Version int
+	Graph   graph.Fingerprint
+	Sigma   []float64
+}
+
+// Save serializes the index so it can be restored later — possibly in
+// another process — with Load, skipping the σ evaluation pass entirely. The
+// payload is wrapped in the framed container (magic, version, length,
+// CRC-32), so truncation and bit-level corruption are detected at load time.
+func (x *Index) Save(w io.Writer) error {
+	p := indexPayload{
+		Version: indexVersion,
+		Graph:   graph.FingerprintOf(x.g),
+		Sigma:   x.sigma,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return fmt.Errorf("anyscan: encoding index: %w", err)
+	}
+	return indexKind.Write(w, buf.Bytes())
+}
+
+// SaveFile writes the index to path crash-safely (temp file + fsync +
+// atomic rename): at every instant either the previous file or the complete
+// new one exists under path.
+func (x *Index) SaveFile(path string) error {
+	p := indexPayload{
+		Version: indexVersion,
+		Graph:   graph.FingerprintOf(x.g),
+		Sigma:   x.sigma,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return fmt.Errorf("anyscan: encoding index: %w", err)
+	}
+	return indexKind.WriteFile(path, buf.Bytes())
+}
+
+// Load reconstructs an index over g from a stream written by Save. g must
+// be the same graph the index was built on (a content fingerprint is
+// verified). The frame checksum rejects corrupted files, and the decoded σ
+// slice is additionally validated against the graph (arc count and value
+// range), so a checksum-valid but semantically invalid file yields an error
+// instead of silently wrong query answers. The sorted neighbor orders are
+// rebuilt with the given number of workers.
+func Load(g *graph.CSR, r io.Reader, threads int) (*Index, error) {
+	payload, err := indexKind.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return restore(g, payload, threads)
+}
+
+// LoadFile opens path and loads one index with Load.
+func LoadFile(g *graph.CSR, path string, threads int) (*Index, error) {
+	payload, err := indexKind.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return restore(g, payload, threads)
+}
+
+func restore(g *graph.CSR, payload []byte, threads int) (*Index, error) {
+	var p indexPayload
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("anyscan: decoding index: %w", err)
+	}
+	if p.Version != indexVersion {
+		return nil, fmt.Errorf("anyscan: index version %d not supported", p.Version)
+	}
+	if fp := graph.FingerprintOf(g); fp != p.Graph {
+		return nil, fmt.Errorf("anyscan: index was built on a different graph (fingerprint %x vs %x)", p.Graph.Hash, fp.Hash)
+	}
+	if int64(len(p.Sigma)) != g.NumArcs() {
+		return nil, fmt.Errorf("anyscan: index has %d arc thresholds, graph has %d arcs", len(p.Sigma), g.NumArcs())
+	}
+	for e, s := range p.Sigma {
+		if !(s >= 0 && s <= 1) { // also rejects NaN
+			return nil, fmt.Errorf("anyscan: index arc %d threshold %v out of range [0,1]", e, s)
+		}
+	}
+	x := &Index{
+		g:      g,
+		sigma:  p.Sigma,
+		orders: map[int]*coreOrder{},
+	}
+	x.sortNeighbors(threads)
+	return x, nil
+}

@@ -1,0 +1,87 @@
+package scan
+
+import (
+	"fmt"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/graph"
+)
+
+// Query is one (μ, ε) clustering request — the parameter pair every SCAN
+// algorithm in this repository takes. Threads is honored by the parallel
+// algorithms only (0 = GOMAXPROCS).
+type Query struct {
+	Mu      int
+	Eps     float64
+	Threads int
+}
+
+// Validate rejects parameter pairs no SCAN variant accepts.
+func (q Query) Validate() error {
+	if q.Mu < 1 {
+		return fmt.Errorf("anyscan: mu must be >= 1, got %d", q.Mu)
+	}
+	if !(q.Eps > 0 && q.Eps <= 1) {
+		return fmt.Errorf("anyscan: eps must be in (0,1], got %v", q.Eps)
+	}
+	if q.Threads < 0 {
+		return fmt.Errorf("anyscan: threads must be >= 0, got %d", q.Threads)
+	}
+	return nil
+}
+
+// Algorithm names one of the exact batch clustering algorithms.
+type Algorithm string
+
+// The exact batch algorithms Batch dispatches over.
+const (
+	AlgoSCAN         Algorithm = "scan"     // original SCAN (Xu et al., KDD 2007)
+	AlgoSCANB        Algorithm = "scanb"    // SCAN + Section III-D optimizations
+	AlgoSCANPP       Algorithm = "scanpp"   // SCAN++ (Shiokawa et al., PVLDB 2015)
+	AlgoPSCAN        Algorithm = "pscan"    // pSCAN (Chang et al., ICDE 2016)
+	AlgoParallelSCAN Algorithm = "parallel" // naive parallel SCAN
+)
+
+// Algorithms returns the batch algorithms in their canonical order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoSCAN, AlgoSCANB, AlgoSCANPP, AlgoPSCAN, AlgoParallelSCAN}
+}
+
+// ParseAlgorithm resolves a user-supplied algorithm name (as used by the
+// CLI, the HTTP API, and the benchmark runner) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if s == string(a) {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("anyscan: unknown algorithm %q (have %v)", s, Algorithms())
+}
+
+// Batch runs one exact batch algorithm on g at the query's (μ, ε) and
+// returns the clustering plus work metrics. All five algorithms produce
+// equivalent clusterings (identical cores, core partition, and noise); they
+// differ only in how much similarity work they spend getting there.
+func Batch(g *graph.CSR, algo Algorithm, q Query) (*cluster.Result, Metrics, error) {
+	if err := q.Validate(); err != nil {
+		return nil, Metrics{}, err
+	}
+	switch algo {
+	case AlgoSCAN:
+		res, m := SCAN(g, q.Mu, q.Eps)
+		return res, m, nil
+	case AlgoSCANB:
+		res, m := SCANB(g, q.Mu, q.Eps)
+		return res, m, nil
+	case AlgoSCANPP:
+		res, m := SCANPP(g, q.Mu, q.Eps)
+		return res, m, nil
+	case AlgoPSCAN:
+		res, m := PSCAN(g, q.Mu, q.Eps)
+		return res, m, nil
+	case AlgoParallelSCAN:
+		res, m := ParallelSCAN(g, q.Mu, q.Eps, q.Threads)
+		return res, m, nil
+	}
+	return nil, Metrics{}, fmt.Errorf("anyscan: unknown algorithm %q (have %v)", algo, Algorithms())
+}

@@ -204,31 +204,37 @@ type SnapshotResponse struct {
 	ClusteringPayload
 }
 
-// ClusterResponse answers an interactive GET /cluster query.
-type ClusterResponse struct {
+// QueryResponse answers GET /v1/query (and the deprecated /cluster and
+// /sweep aliases). With a single eps parameter the response carries the
+// exact clustering at (μ, ε) in the embedded ClusteringPayload; with an eps
+// list (or none) it carries one summary point per probed ε in Points.
+type QueryResponse struct {
 	Graph    string  `json:"graph"`
 	Mu       int     `json:"mu"`
-	Eps      float64 `json:"eps"`
+	Eps      float64 `json:"eps,omitempty"` // single-ε form only
 	CacheHit bool    `json:"cache_hit"`
-	BuildMS  float64 `json:"build_ms,omitempty"` // explorer build time (cache miss only)
+	BuildMS  float64 `json:"build_ms,omitempty"` // index build time (cache miss only)
 	QueryMS  float64 `json:"query_ms"`
 	ClusteringPayload
+	Points []SweepPoint `json:"points,omitempty"` // profile form only
 }
 
-// SweepPoint is one ε of a GET /sweep response.
+// ClusterResponse is the former GET /cluster payload.
+//
+// Deprecated: use QueryResponse.
+type ClusterResponse = QueryResponse
+
+// SweepPoint is one ε of a profile-form QueryResponse.
 type SweepPoint struct {
 	Eps      float64    `json:"eps"`
 	Clusters int        `json:"clusters"`
 	Counts   RoleCounts `json:"counts"`
 }
 
-// SweepResponse answers GET /sweep.
-type SweepResponse struct {
-	Graph    string       `json:"graph"`
-	Mu       int          `json:"mu"`
-	CacheHit bool         `json:"cache_hit"`
-	Points   []SweepPoint `json:"points"`
-}
+// SweepResponse is the former GET /sweep payload.
+//
+// Deprecated: use QueryResponse.
+type SweepResponse = QueryResponse
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {

@@ -72,47 +72,47 @@ func (c *Client) do(method, path string, body, out any) error {
 // LoadGraph loads a graph into the server's registry.
 func (c *Client) LoadGraph(req LoadGraphRequest) (GraphInfo, error) {
 	var info GraphInfo
-	err := c.do(http.MethodPost, "/graphs", req, &info)
+	err := c.do(http.MethodPost, "/v1/graphs", req, &info)
 	return info, err
 }
 
 // ListGraphs returns the loaded graphs.
 func (c *Client) ListGraphs() ([]GraphInfo, error) {
 	var out []GraphInfo
-	err := c.do(http.MethodGet, "/graphs", nil, &out)
+	err := c.do(http.MethodGet, "/v1/graphs", nil, &out)
 	return out, err
 }
 
 // EvictGraph removes a graph from the registry.
 func (c *Client) EvictGraph(name string) error {
-	return c.do(http.MethodDelete, "/graphs/"+url.PathEscape(name), nil, nil)
+	return c.do(http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
 }
 
 // SubmitJob submits an async clustering job.
 func (c *Client) SubmitJob(spec JobSpec) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(http.MethodPost, "/jobs", spec, &st)
+	err := c.do(http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
 }
 
 // ListJobs returns the status of every job.
 func (c *Client) ListJobs() ([]JobStatus, error) {
 	var out []JobStatus
-	err := c.do(http.MethodGet, "/jobs", nil, &out)
+	err := c.do(http.MethodGet, "/v1/jobs", nil, &out)
 	return out, err
 }
 
 // JobStatus returns one job's status.
 func (c *Client) JobStatus(id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(http.MethodGet, "/jobs/"+url.PathEscape(id), nil, &st)
+	err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
 	return st, err
 }
 
 // JobSnapshot fetches the anytime snapshot (the best-so-far clustering).
 func (c *Client) JobSnapshot(id string, withAssignments bool) (SnapshotResponse, error) {
 	var snap SnapshotResponse
-	path := "/jobs/" + url.PathEscape(id) + "/snapshot"
+	path := "/v1/jobs/" + url.PathEscape(id) + "/snapshot"
 	if withAssignments {
 		path += "?assignments=1"
 	}
@@ -123,7 +123,7 @@ func (c *Client) JobSnapshot(id string, withAssignments bool) (SnapshotResponse,
 // JobResult fetches the final clustering of a done job.
 func (c *Client) JobResult(id string, withAssignments bool) (SnapshotResponse, error) {
 	var snap SnapshotResponse
-	path := "/jobs/" + url.PathEscape(id) + "/result"
+	path := "/v1/jobs/" + url.PathEscape(id) + "/result"
 	if withAssignments {
 		path += "?assignments=1"
 	}
@@ -138,7 +138,7 @@ func (c *Client) CancelJob(id string) (JobStatus, error) { return c.jobVerb(id, 
 
 func (c *Client) jobVerb(id, verb string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(http.MethodPost, "/jobs/"+url.PathEscape(id)+"/"+verb, nil, &st)
+	err := c.do(http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/"+verb, nil, &st)
 	return st, err
 }
 
@@ -161,7 +161,48 @@ func (c *Client) WaitJob(id string, timeout time.Duration) (JobStatus, error) {
 	}
 }
 
-// Cluster runs an interactive clustering query.
+// Query runs an interactive clustering query against GET /v1/query and
+// returns the exact clustering at (μ, ε), served from the graph's query
+// index.
+func (c *Client) Query(graphName string, mu int, eps float64, withAssignments bool) (QueryResponse, error) {
+	var resp QueryResponse
+	q := url.Values{}
+	q.Set("graph", graphName)
+	q.Set("mu", strconv.Itoa(mu))
+	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	if withAssignments {
+		q.Set("assignments", "1")
+	}
+	err := c.do(http.MethodGet, "/v1/query?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// QueryProfile evaluates the clustering profile across ε values via GET
+// /v1/query. With an empty eps slice the server probes up to limit (0 →
+// server default) interesting thresholds itself.
+func (c *Client) QueryProfile(graphName string, mu int, eps []float64, limit int) (QueryResponse, error) {
+	var resp QueryResponse
+	q := url.Values{}
+	q.Set("graph", graphName)
+	q.Set("mu", strconv.Itoa(mu))
+	if len(eps) > 0 {
+		parts := make([]string, len(eps))
+		for i, v := range eps {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		q.Set("eps", strings.Join(parts, ","))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	err := c.do(http.MethodGet, "/v1/query?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// Cluster runs an interactive clustering query against the legacy
+// unversioned /cluster endpoint.
+//
+// Deprecated: use Query.
 func (c *Client) Cluster(graphName string, mu int, eps float64, withAssignments bool) (ClusterResponse, error) {
 	var resp ClusterResponse
 	q := url.Values{}
@@ -175,8 +216,11 @@ func (c *Client) Cluster(graphName string, mu int, eps float64, withAssignments 
 	return resp, err
 }
 
-// Sweep evaluates the clustering profile across ε values. With an empty eps
-// slice the server picks interesting thresholds itself.
+// Sweep evaluates the clustering profile via the legacy unversioned /sweep
+// endpoint. With an empty eps slice the server picks interesting thresholds
+// itself.
+//
+// Deprecated: use QueryProfile.
 func (c *Client) Sweep(graphName string, mu int, eps []float64) (SweepResponse, error) {
 	var resp SweepResponse
 	q := url.Values{}
@@ -195,12 +239,12 @@ func (c *Client) Sweep(graphName string, mu int, eps []float64) (SweepResponse, 
 
 // Healthz reports whether the server answers its health check.
 func (c *Client) Healthz() error {
-	return c.do(http.MethodGet, "/healthz", nil, nil)
+	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
 }
 
 // MetricsText fetches the raw Prometheus exposition.
 func (c *Client) MetricsText() (string, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/metrics")
 	if err != nil {
 		return "", err
 	}

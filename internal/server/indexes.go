@@ -1,0 +1,151 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"anyscan/internal/graph"
+	"anyscan/internal/index"
+	"anyscan/internal/sweep"
+)
+
+// indexEntry is one per-graph cached query index plus the μ-fixed sweep
+// explorers lazily derived from it (for profile queries over many ε).
+type indexEntry struct {
+	ready   chan struct{} // closed when idx/err are set
+	idx     *index.Index
+	err     error
+	buildMS float64
+	g       *graph.CSR // the graph the index was built on (staleness check)
+
+	mu        sync.Mutex
+	explorers map[int]*explorerEntry // μ → derived explorer (no σ pass)
+}
+
+type explorerEntry struct {
+	ready chan struct{}
+	ex    *sweep.Explorer
+	err   error
+}
+
+// indexCache caches one query index per graph with single-flight
+// construction: concurrent first queries for the same graph block on one
+// build instead of each paying the Θ(|E|) similarity pass. Because the index
+// answers any (μ, ε), every query against a graph — at any parameters —
+// shares the single per-graph instance; the index is safe for concurrent
+// readers (see index.Index), so cached instances are handed to every request
+// without locking.
+type indexCache struct {
+	mu      sync.Mutex
+	entries map[string]*indexEntry // graph name → entry
+	met     *Metrics
+	threads int // workers for index construction (0 = GOMAXPROCS)
+}
+
+func newIndexCache(met *Metrics, threads int) *indexCache {
+	return &indexCache{
+		entries: make(map[string]*indexEntry),
+		met:     met,
+		threads: threads,
+	}
+}
+
+// get returns the cached index for the graph, building it on first use. hit
+// reports whether the index was already resident; buildMS is the
+// construction time paid by the request that built it (0 on hits).
+func (c *indexCache) get(ge *GraphEntry) (idx *index.Index, hit bool, buildMS float64, err error) {
+	e, built := c.entry(ge)
+	<-e.ready
+	if e.err != nil {
+		return nil, false, 0, e.err
+	}
+	if built {
+		return e.idx, false, e.buildMS, nil
+	}
+	c.met.IndexHits.Add(1)
+	return e.idx, true, 0, nil
+}
+
+// entry returns the cache entry for the graph, creating (and building) it on
+// first use; built reports whether this call performed the build.
+func (c *indexCache) entry(ge *GraphEntry) (e *indexEntry, built bool) {
+	c.mu.Lock()
+	e, ok := c.entries[ge.Name]
+	if ok && e.g != ge.G {
+		// The name was evicted and reloaded with different content; the
+		// cached index answers for a graph that no longer exists.
+		ok = false
+	}
+	if ok {
+		c.mu.Unlock()
+		return e, false
+	}
+	e = &indexEntry{ready: make(chan struct{}), g: ge.G, explorers: make(map[int]*explorerEntry)}
+	c.entries[ge.Name] = e
+	c.mu.Unlock()
+
+	c.met.IndexMisses.Add(1)
+	start := time.Now()
+	e.idx = index.Build(ge.G, c.threads)
+	e.buildMS = float64(time.Since(start).Microseconds()) / 1000
+	c.met.IndexSims.Add(e.idx.SimEvals()) // one σ per undirected edge
+	c.met.IndexBuildUS.Add(time.Since(start).Microseconds())
+	close(e.ready)
+	return e, true
+}
+
+// explorer returns a μ-fixed sweep explorer derived from the graph's index,
+// building the index on first use and memoizing one explorer per μ. The
+// derivation performs no σ work (sweep.FromIndex), so hit/buildMS report the
+// index cache outcome — the quantity that matters for similarity cost.
+func (c *indexCache) explorer(ge *GraphEntry, mu int) (ex *sweep.Explorer, hit bool, buildMS float64, err error) {
+	e, built := c.entry(ge)
+	<-e.ready
+	if e.err != nil {
+		return nil, false, 0, e.err
+	}
+	hit = !built
+	if built {
+		buildMS = e.buildMS
+	} else {
+		c.met.IndexHits.Add(1)
+	}
+
+	e.mu.Lock()
+	ee, ok := e.explorers[mu]
+	if !ok {
+		ee = &explorerEntry{ready: make(chan struct{})}
+		e.explorers[mu] = ee
+		e.mu.Unlock()
+		ee.ex, ee.err = sweep.FromIndex(e.idx, mu)
+		if ee.err != nil {
+			e.mu.Lock()
+			delete(e.explorers, mu) // failed derivations are not cached
+			e.mu.Unlock()
+		}
+		close(ee.ready)
+	} else {
+		e.mu.Unlock()
+		<-ee.ready
+	}
+	if ee.err != nil {
+		return nil, false, 0, ee.err
+	}
+	return ee.ex, hit, buildMS, nil
+}
+
+// evictGraph drops the named graph's cached index and derived explorers
+// (after a registry eviction). Builds in flight complete and are then
+// dropped on the next get via the staleness check.
+func (c *indexCache) evictGraph(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, name)
+}
+
+// size returns the number of resident indexes.
+func (c *indexCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -22,10 +22,12 @@ type Metrics struct {
 	JobsCanceled  atomic.Int64
 	JobsRecovered atomic.Int64
 
-	QueriesServed  atomic.Int64 // /cluster + /sweep answers
-	ExplorerHits   atomic.Int64
-	ExplorerMisses atomic.Int64
-	ExplorerSims   atomic.Int64 // σ evaluations spent building explorers
+	QueriesServed atomic.Int64 // /v1/query (and legacy /cluster, /sweep) answers
+	IndexHits     atomic.Int64
+	IndexMisses   atomic.Int64
+	IndexSims     atomic.Int64 // σ evaluations spent building per-graph indexes
+	IndexBuildUS  atomic.Int64 // wall time spent building indexes (µs)
+	QueryUS       atomic.Int64 // wall time spent answering queries (µs)
 
 	HTTPRequests atomic.Int64
 	latencyCount [len(latencyBuckets) + 1]atomic.Int64
@@ -46,9 +48,9 @@ func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.latencyCount[len(latencyBuckets)].Add(1)
 }
 
-// ExplorerHitRate returns hits/(hits+misses), 0 when no queries were made.
-func (m *Metrics) ExplorerHitRate() float64 {
-	h, miss := m.ExplorerHits.Load(), m.ExplorerMisses.Load()
+// IndexHitRate returns hits/(hits+misses), 0 when no queries were made.
+func (m *Metrics) IndexHitRate() float64 {
+	h, miss := m.IndexHits.Load(), m.IndexMisses.Load()
 	if h+miss == 0 {
 		return 0
 	}
@@ -74,11 +76,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 	counter("anyscand_jobs_failed_total", "Clustering jobs that failed.", m.JobsFailed.Load())
 	counter("anyscand_jobs_canceled_total", "Clustering jobs canceled.", m.JobsCanceled.Load())
 	counter("anyscand_jobs_recovered_total", "Jobs recovered from checkpoints after a restart.", m.JobsRecovered.Load())
-	counter("anyscand_queries_total", "Interactive /cluster and /sweep queries served.", m.QueriesServed.Load())
-	counter("anyscand_explorer_cache_hits_total", "Explorer cache hits.", m.ExplorerHits.Load())
-	counter("anyscand_explorer_cache_misses_total", "Explorer cache misses (builds).", m.ExplorerMisses.Load())
-	counter("anyscand_explorer_sim_evals_total", "Similarity evaluations spent building explorers.", m.ExplorerSims.Load())
+	counter("anyscand_queries_total", "Interactive clustering queries served.", m.QueriesServed.Load())
+	counter("anyscand_index_cache_hits_total", "Query-index cache hits.", m.IndexHits.Load())
+	counter("anyscand_index_cache_misses_total", "Query-index cache misses (builds).", m.IndexMisses.Load())
+	counter("anyscand_index_sim_evals_total", "Similarity evaluations spent building query indexes.", m.IndexSims.Load())
 	counter("anyscand_http_requests_total", "HTTP requests handled.", m.HTTPRequests.Load())
+	fmt.Fprintf(w, "# HELP anyscand_index_build_ms_total Wall time spent building query indexes.\n# TYPE anyscand_index_build_ms_total counter\nanyscand_index_build_ms_total %g\n",
+		float64(m.IndexBuildUS.Load())/1000)
+	fmt.Fprintf(w, "# HELP anyscand_query_ms_total Wall time spent answering interactive queries.\n# TYPE anyscand_query_ms_total counter\nanyscand_query_ms_total %g\n",
+		float64(m.QueryUS.Load())/1000)
 
 	fmt.Fprintf(w, "# HELP anyscand_http_request_duration_ms HTTP request latency.\n")
 	fmt.Fprintf(w, "# TYPE anyscand_http_request_duration_ms histogram\n")

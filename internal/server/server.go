@@ -21,19 +21,23 @@ import (
 type Config struct {
 	// Manager settings (worker pool, checkpoint dir) — see ManagerConfig.
 	Manager ManagerConfig
-	// ExplorerThreads is the worker count for explorer construction
+	// IndexThreads is the worker count for query-index construction
 	// (0 = GOMAXPROCS).
+	IndexThreads int
+	// ExplorerThreads is honored when IndexThreads is 0.
+	//
+	// Deprecated: use IndexThreads.
 	ExplorerThreads int
 	// Logger receives request and lifecycle logs (nil → slog.Default()).
 	Logger *slog.Logger
 }
 
-// Server wires the graph registry, the job manager, and the explorer cache
-// behind an http.Handler.
+// Server wires the graph registry, the job manager, and the per-graph query
+// index cache behind an http.Handler.
 type Server struct {
 	reg  *Registry
 	jobs *Manager
-	exp  *explorerCache
+	idx  *indexCache
 	met  *Metrics
 	log  *slog.Logger
 	mux  *http.ServeMux
@@ -54,10 +58,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	threads := cfg.IndexThreads
+	if threads == 0 {
+		threads = cfg.ExplorerThreads
+	}
 	s := &Server{
 		reg:  reg,
 		jobs: jobs,
-		exp:  newExplorerCache(met, cfg.ExplorerThreads),
+		idx:  newIndexCache(met, threads),
 		met:  met,
 		log:  cfg.Logger,
 		mux:  http.NewServeMux(),
@@ -80,25 +88,38 @@ func (s *Server) Jobs() *Manager { return s.jobs }
 // http.Server.Shutdown.
 func (s *Server) Drain(ctx context.Context) error { return s.jobs.Close(ctx) }
 
+// routes registers every endpoint twice: under the canonical versioned
+// prefix /v1 and under the original unversioned path, kept as a deprecated
+// alias for one release so existing clients keep working. The one-shot
+// /cluster and /sweep endpoints are folded into GET /v1/query; their
+// unversioned paths remain as aliases answered by the same index-backed
+// machinery.
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
-	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
-	s.mux.HandleFunc("DELETE /graphs/{name}", s.handleEvictGraph)
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := strings.Cut(pattern, " ")
+		s.mux.HandleFunc(method+" /v1"+path, h)
+		s.mux.HandleFunc(pattern, h) // deprecated unversioned alias
+	}
+	handle("POST /graphs", s.handleLoadGraph)
+	handle("GET /graphs", s.handleListGraphs)
+	handle("DELETE /graphs/{name}", s.handleEvictGraph)
 
-	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /jobs/{id}/snapshot", s.handleJobSnapshot)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("POST /jobs/{id}/pause", s.jobControl((*Manager).Pause))
-	s.mux.HandleFunc("POST /jobs/{id}/resume", s.jobControl((*Manager).Resume))
-	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.jobControl((*Manager).Cancel))
+	handle("POST /jobs", s.handleSubmitJob)
+	handle("GET /jobs", s.handleListJobs)
+	handle("GET /jobs/{id}", s.handleJobStatus)
+	handle("GET /jobs/{id}/snapshot", s.handleJobSnapshot)
+	handle("GET /jobs/{id}/result", s.handleJobResult)
+	handle("POST /jobs/{id}/pause", s.jobControl((*Manager).Pause))
+	handle("POST /jobs/{id}/resume", s.jobControl((*Manager).Resume))
+	handle("POST /jobs/{id}/cancel", s.jobControl((*Manager).Cancel))
 
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	// Deprecated pre-/v1 query surface, answered by the same index cache.
 	s.mux.HandleFunc("GET /cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /sweep", s.handleSweep)
 
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /healthz", s.handleHealthz)
 }
 
 // ServeHTTP implements http.Handler with request logging and latency
@@ -175,7 +196,7 @@ func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	s.exp.evictGraph(name)
+	s.idx.evictGraph(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -273,6 +294,127 @@ func wantAssignments(r *http.Request) bool {
 
 // --- interactive queries --------------------------------------------------
 
+// handleQuery answers GET /v1/query, the unified interactive endpoint: both
+// μ and ε are request parameters served from the per-graph query index (one
+// σ pass per graph, ever). With a single eps value the response carries the
+// exact clustering at (μ, ε); with a comma-separated eps list, or none (the
+// server then probes up to limit= interesting thresholds), it carries a
+// profile of summary points per ε.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("graph")
+	mu, err1 := strconv.Atoi(q.Get("mu"))
+	if name == "" || err1 != nil {
+		writeError(w, http.StatusBadRequest,
+			errors.New("need graph=<name>&mu=<int>[&eps=<float>[,<float>...]]"))
+		return
+	}
+	ge, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+
+	raw := q.Get("eps")
+	if raw != "" && !strings.Contains(raw, ",") {
+		eps, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", raw))
+			return
+		}
+		resp, code, err := s.queryClustering(ge, mu, eps, wantAssignments(r))
+		if err != nil {
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	var epsValues []float64
+	for _, part := range strings.Split(raw, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", part))
+			return
+		}
+		epsValues = append(epsValues, v)
+	}
+	limit := 16
+	if rawLimit := q.Get("limit"); rawLimit != "" {
+		if limit, err = strconv.Atoi(rawLimit); err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", rawLimit))
+			return
+		}
+	}
+	resp, code, err := s.queryProfile(ge, mu, epsValues, limit)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryClustering answers one (μ, ε) clustering from the graph's index.
+func (s *Server) queryClustering(ge *GraphEntry, mu int, eps float64, withAssignments bool) (QueryResponse, int, error) {
+	idx, hit, buildMS, err := s.idx.get(ge)
+	if err != nil {
+		return QueryResponse{}, http.StatusBadRequest, err
+	}
+	start := time.Now()
+	res, err := idx.Query(mu, eps)
+	if err != nil {
+		return QueryResponse{}, http.StatusBadRequest, err
+	}
+	queryUS := time.Since(start).Microseconds()
+	s.met.QueryUS.Add(queryUS)
+	s.met.QueriesServed.Add(1)
+	return QueryResponse{
+		Graph:             ge.Name,
+		Mu:                mu,
+		Eps:               eps,
+		CacheHit:          hit,
+		BuildMS:           buildMS,
+		QueryMS:           float64(queryUS) / 1000,
+		ClusteringPayload: clusteringPayload(res, withAssignments),
+	}, 0, nil
+}
+
+// queryProfile answers a multi-ε profile for one μ via the explorer derived
+// from the graph's index (no σ work). An empty epsValues list probes up to
+// limit interesting thresholds.
+func (s *Server) queryProfile(ge *GraphEntry, mu int, epsValues []float64, limit int) (QueryResponse, int, error) {
+	ex, hit, buildMS, err := s.idx.explorer(ge, mu)
+	if err != nil {
+		return QueryResponse{}, http.StatusBadRequest, err
+	}
+	if len(epsValues) == 0 {
+		epsValues = ex.InterestingThresholds(limit)
+	}
+	start := time.Now()
+	profiles := ex.SweepProfile(epsValues)
+	queryUS := time.Since(start).Microseconds()
+	points := make([]SweepPoint, len(profiles))
+	for i, p := range profiles {
+		points[i] = SweepPoint{Eps: p.Eps, Clusters: p.Clusters, Counts: roleCounts(p.Counts)}
+	}
+	s.met.QueryUS.Add(queryUS)
+	s.met.QueriesServed.Add(1)
+	return QueryResponse{
+		Graph:    ge.Name,
+		Mu:       mu,
+		CacheHit: hit,
+		BuildMS:  buildMS,
+		QueryMS:  float64(queryUS) / 1000,
+		Points:   points,
+	}, 0, nil
+}
+
+// handleCluster answers the deprecated GET /cluster endpoint (now an alias
+// of /v1/query with a single eps).
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("graph")
@@ -288,26 +430,16 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	ex, hit, buildMS, err := s.exp.get(ge, mu)
+	resp, code, err := s.queryClustering(ge, mu, eps, wantAssignments(r))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, code, err)
 		return
 	}
-	start := time.Now()
-	res := ex.ClusteringAt(eps)
-	queryMS := float64(time.Since(start).Microseconds()) / 1000
-	s.met.QueriesServed.Add(1)
-	writeJSON(w, http.StatusOK, ClusterResponse{
-		Graph:             name,
-		Mu:                mu,
-		Eps:               eps,
-		CacheHit:          hit,
-		BuildMS:           buildMS,
-		QueryMS:           queryMS,
-		ClusteringPayload: clusteringPayload(res, wantAssignments(r)),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSweep answers the deprecated GET /sweep endpoint (now an alias of
+// /v1/query's profile form).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("graph")
@@ -321,11 +453,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	ex, hit, _, err := s.exp.get(ge, mu)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	var epsValues []float64
 	if raw := q.Get("eps"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {
@@ -336,23 +463,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			epsValues = append(epsValues, v)
 		}
-	} else {
-		limit := 16
-		if rawLimit := q.Get("limit"); rawLimit != "" {
-			if limit, err = strconv.Atoi(rawLimit); err != nil || limit <= 0 {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", rawLimit))
-				return
-			}
+	}
+	limit := 16
+	if rawLimit := q.Get("limit"); rawLimit != "" {
+		if limit, err = strconv.Atoi(rawLimit); err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", rawLimit))
+			return
 		}
-		epsValues = ex.InterestingThresholds(limit)
 	}
-	profiles := ex.SweepProfile(epsValues)
-	points := make([]SweepPoint, len(profiles))
-	for i, p := range profiles {
-		points[i] = SweepPoint{Eps: p.Eps, Clusters: p.Clusters, Counts: roleCounts(p.Counts)}
+	resp, code, err := s.queryProfile(ge, mu, epsValues, limit)
+	if err != nil {
+		writeError(w, code, err)
+		return
 	}
-	s.met.QueriesServed.Add(1)
-	writeJSON(w, http.StatusOK, SweepResponse{Graph: name, Mu: mu, CacheHit: hit, Points: points})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- observability --------------------------------------------------------
@@ -361,8 +485,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counts := s.jobs.CountByState()
 	gauges := []Gauge{
 		{"anyscand_graphs_loaded", "Graphs resident in the registry.", float64(s.reg.Len())},
-		{"anyscand_explorers_cached", "Sweep explorers resident in the cache.", float64(s.exp.size())},
-		{"anyscand_explorer_cache_hit_rate", "Explorer cache hit rate.", s.met.ExplorerHitRate()},
+		{"anyscand_indexes_cached", "Query indexes resident in the cache.", float64(s.idx.size())},
+		{"anyscand_index_cache_hit_rate", "Query-index cache hit rate.", s.met.IndexHitRate()},
 		{"anyscand_job_sim_evals", "Similarity evaluations across all jobs.", float64(s.jobs.TotalSims())},
 	}
 	for _, st := range []JobState{JobQueued, JobRunning, JobPaused, JobDone, JobFailed, JobCanceled} {

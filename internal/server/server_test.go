@@ -420,9 +420,10 @@ func waitState(t *testing.T, c *server.Client, id string, want server.JobState) 
 	}
 }
 
-// TestE2EInteractiveQueries exercises /cluster and /sweep: the first query
-// builds the explorer (cache miss), repeats hit the cache, answers match the
-// batch clustering, and eviction invalidates the cache.
+// TestE2EInteractiveQueries exercises the deprecated unversioned /cluster
+// and /sweep aliases: the first query builds the graph's index (cache miss),
+// repeats hit the cache, answers match the batch clustering, and eviction
+// invalidates the cache.
 func TestE2EInteractiveQueries(t *testing.T) {
 	g := sharedGraph(t)
 	path := writeGraphFile(t, g, t.TempDir())
@@ -443,7 +444,7 @@ func TestE2EInteractiveQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !second.CacheHit {
-		t.Fatal("second query missed the explorer cache")
+		t.Fatal("second query missed the index cache")
 	}
 
 	// The interactive answer must match a batch run at the same (ε, μ).
@@ -478,7 +479,7 @@ func TestE2EInteractiveQueries(t *testing.T) {
 		t.Fatal("sweep with auto thresholds returned no points")
 	}
 
-	// Eviction invalidates the explorer cache.
+	// Eviction invalidates the index cache.
 	if err := c.EvictGraph("g"); err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +494,71 @@ func TestE2EInteractiveQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	if reloaded.CacheHit {
-		t.Fatal("explorer cache survived graph eviction")
+		t.Fatal("index cache survived graph eviction")
+	}
+}
+
+// TestE2EQueryOneSigmaPass drives the versioned /v1/query endpoint at two
+// different μ (plus a profile form) on the same graph and asserts — via the
+// σ-evaluation Prometheus counter — that the server spent exactly one
+// similarity pass (one σ per edge) across all of them. This is the index
+// guarantee the per-(graph, μ) explorer cache could not offer: changing μ no
+// longer recomputes anything.
+func TestE2EQueryOneSigmaPass(t *testing.T) {
+	g := sharedGraph(t)
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
+	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := c.Query("g", 4, 0.4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	if first.Eps != 0.4 || len(first.Points) != 0 {
+		t.Fatalf("single-ε response malformed: eps=%v points=%d", first.Eps, len(first.Points))
+	}
+	// The answer is the exact SCAN clustering at (μ, ε).
+	want := cluster.Reference(g, 4, 0.4)
+	got := resultFromAssignments(t, first.Assignments)
+	if err := cluster.Equivalent(got, want); err != nil {
+		t.Fatalf("/v1/query differs from the reference clustering: %v", err)
+	}
+
+	// A different μ on the same graph: served from the same index.
+	second, err := c.Query("g", 7, 0.55, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("changing mu evicted the index")
+	}
+
+	// Profile form with auto-picked thresholds, at a third μ.
+	profile, err := c.QueryProfile("g", 5, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !profile.CacheHit || len(profile.Points) == 0 || len(profile.Points) > 8 {
+		t.Fatalf("profile: hit=%v points=%d", profile.CacheHit, len(profile.Points))
+	}
+
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims := metricValue(t, text, "anyscand_index_sim_evals_total "); sims != float64(g.NumEdges()) {
+		t.Errorf("σ evaluations = %g after three μ values, want exactly one pass = %d", sims, g.NumEdges())
+	}
+	if misses := metricValue(t, text, "anyscand_index_cache_misses_total "); misses != 1 {
+		t.Errorf("index builds = %g, want 1", misses)
+	}
+	if hits := metricValue(t, text, "anyscand_index_cache_hits_total "); hits != 2 {
+		t.Errorf("index cache hits = %g, want 2", hits)
 	}
 }
 
@@ -528,16 +593,22 @@ func TestE2EMetrics(t *testing.T) {
 		"anyscand_jobs_submitted_total 1",
 		"anyscand_jobs_completed_total 1",
 		"anyscand_queries_total 2",
-		"anyscand_explorer_cache_hits_total 1",
-		"anyscand_explorer_cache_misses_total 1",
+		"anyscand_index_cache_hits_total 1",
+		"anyscand_index_cache_misses_total 1",
 		"anyscand_graphs_loaded 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
 	}
-	// σ-evaluation counters: explorer builds and job work both non-zero.
-	for _, prefix := range []string{"anyscand_explorer_sim_evals_total ", "anyscand_job_sim_evals "} {
+	// σ-evaluation and wall-time counters: index builds, queries, and job
+	// work all non-zero.
+	for _, prefix := range []string{
+		"anyscand_index_sim_evals_total ",
+		"anyscand_index_build_ms_total ",
+		"anyscand_query_ms_total ",
+		"anyscand_job_sim_evals ",
+	} {
 		v := metricValue(t, text, prefix)
 		if v <= 0 {
 			t.Errorf("%s= %g, want > 0", prefix, v)

@@ -16,6 +16,7 @@
 package simeval
 
 import (
+	"math"
 	"sync/atomic"
 
 	"anyscan/internal/graph"
@@ -186,6 +187,31 @@ func (e *Engine) EdgeNumerator(p, q int32, wpq float32) (num, denom float64) {
 	num = selfTerms + e.openDot(p, q)
 	denom = e.G.SqrtNorm(p) * e.G.SqrtNorm(q)
 	return num, denom
+}
+
+// Crossing returns the largest float64 t with num >= t*denom, i.e. the
+// exact boundary of the engine's similarity predicate as a function of ε.
+// The sweep explorer and the query index precompute per-edge activation
+// thresholds with it: computing the exact crossing (rather than the rounded
+// quotient num/denom) keeps threshold replays bit-for-bit consistent with
+// every algorithm that evaluates the predicate directly, even on unweighted
+// graphs where σ values hit rational boundaries exactly.
+func Crossing(num, denom float64) float64 {
+	if denom <= 0 {
+		return 0
+	}
+	t := num / denom
+	for num < t*denom {
+		t = math.Nextafter(t, math.Inf(-1))
+	}
+	for {
+		u := math.Nextafter(t, math.Inf(1))
+		if num < u*denom {
+			break
+		}
+		t = u
+	}
+	return t
 }
 
 // openDot returns Σ_{r∈N(p)∩N(q)} w_pr·w_qr over the open neighborhoods.

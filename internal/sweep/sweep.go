@@ -30,6 +30,7 @@ import (
 
 	"anyscan/internal/cluster"
 	"anyscan/internal/graph"
+	"anyscan/internal/index"
 	"anyscan/internal/par"
 	"anyscan/internal/simeval"
 	"anyscan/internal/unionfind"
@@ -60,23 +61,7 @@ type mergeEdge struct {
 
 // crossing returns the largest float64 t with num >= t*denom, i.e. the
 // exact boundary of the engine's similarity predicate as a function of ε.
-func crossing(num, denom float64) float64 {
-	if denom <= 0 {
-		return 0
-	}
-	t := num / denom
-	for num < t*denom {
-		t = math.Nextafter(t, math.Inf(-1))
-	}
-	for {
-		u := math.Nextafter(t, math.Inf(1))
-		if num < u*denom {
-			break
-		}
-		t = u
-	}
-	return t
-}
+func crossing(num, denom float64) float64 { return simeval.Crossing(num, denom) }
 
 // NewExplorer evaluates all |E| similarities with the given number of
 // workers and prepares the threshold structures. Cost: one exact σ per
@@ -133,6 +118,45 @@ func NewExplorer(g *graph.CSR, mu int, threads int) (*Explorer, error) {
 
 	// Merge events: each edge joins the two endpoint clusters as soon as ε
 	// falls to min(σ, coreThr(u), coreThr(v)).
+	var edges []mergeEdge
+	for v := int32(0); v < int32(n); v++ {
+		lo, hi := g.NeighborRange(v)
+		for e := lo; e < hi; e++ {
+			q, _ := g.Arc(e)
+			if v >= q {
+				continue
+			}
+			thr := math.Min(sigma[e], math.Min(coreThr[v], coreThr[q]))
+			if thr > 0 {
+				edges = append(edges, mergeEdge{thr, v, q})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].thr > edges[j].thr })
+
+	return &Explorer{g: g, mu: mu, coreThr: coreThr, edges: edges, sigma: sigma}, nil
+}
+
+// FromIndex derives a μ-fixed Explorer from a per-graph query index without
+// re-evaluating a single similarity: the index already holds every per-arc
+// activation threshold, so only the O(n) core thresholds (an O(1) lookup
+// each) and the O(|E| log |E|) merge-event sort remain. The Explorer shares
+// the index's σ storage (both treat it as read-only), so the μ-fixed
+// dendrogram/profile APIs cost no second Θ(|E|) pass and no extra arc-sized
+// allocation beyond the merge-event list.
+func FromIndex(x *index.Index, mu int) (*Explorer, error) {
+	if mu < 1 {
+		return nil, fmt.Errorf("sweep: mu must be >= 1, got %d", mu)
+	}
+	g := x.Graph()
+	n := g.NumVertices()
+	sigma := x.ArcSigmas()
+
+	coreThr := make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		coreThr[v] = x.CoreThreshold(v, mu)
+	}
+
 	var edges []mergeEdge
 	for v := int32(0); v < int32(n); v++ {
 		lo, hi := g.NeighborRange(v)

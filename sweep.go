@@ -16,3 +16,11 @@ type SweepProfile = sweep.Profile
 func NewExplorer(g *Graph, mu int, threads int) (*Explorer, error) {
 	return sweep.NewExplorer(g, mu, threads)
 }
+
+// ExplorerFromIndex derives a μ-fixed Explorer from a query Index without a
+// second similarity pass: the index already holds every per-arc activation
+// threshold, so the dendrogram/profile APIs come almost for free once an
+// Index exists for the graph.
+func ExplorerFromIndex(x *Index, mu int) (*Explorer, error) {
+	return sweep.FromIndex(x, mu)
+}
