@@ -283,3 +283,9 @@ func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32, error) {
 func LargestComponent(g *Graph) (*Graph, []int32, error) {
 	return graph.LargestComponent(g)
 }
+
+// RelabelByDegree returns an isomorphic copy of g with vertices renumbered
+// in non-increasing degree order plus the permutation perm[old] = new. The
+// layout improves similarity-join locality on skewed graphs; map labels back
+// through perm to report results in the original numbering.
+func RelabelByDegree(g *Graph) (*Graph, []int32) { return graph.RelabelByDegree(g) }

@@ -218,3 +218,50 @@ func TestPublicRoleConstants(t *testing.T) {
 		t.Error("cluster roles claimed noise")
 	}
 }
+
+func TestRelabelByDegreePreservesClustering(t *testing.T) {
+	g := karate(t)
+	h, perm := anyscan.RelabelByDegree(g)
+	if h.NumVertices() != g.NumVertices() || h.NumArcs() != g.NumArcs() {
+		t.Fatalf("relabeled graph changed size")
+	}
+	for _, name := range []string{"scan", "pscan"} {
+		algo, err := anyscan.ParseAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := anyscan.Query{Mu: 3, Eps: 0.45}
+		orig, _, err := anyscan.Batch(g, algo, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _, err := anyscan.Batch(h, algo, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The partitions must correspond under the permutation: roles map
+		// pointwise, labels up to a consistent bijection.
+		fwd := map[int32]int32{}
+		for old := 0; old < g.NumVertices(); old++ {
+			mapped := perm[old]
+			if orig.Roles[old] != rel.Roles[mapped] {
+				t.Fatalf("%s: role of %d changed under relabeling: %v vs %v",
+					name, old, orig.Roles[old], rel.Roles[mapped])
+			}
+			a, b := orig.Labels[old], rel.Labels[mapped]
+			if (a < 0) != (b < 0) {
+				t.Fatalf("%s: vertex %d labeled %d vs %d", name, old, a, b)
+			}
+			if a < 0 {
+				continue
+			}
+			if want, ok := fwd[a]; ok && want != b {
+				t.Fatalf("%s: label %d maps to both %d and %d", name, a, want, b)
+			}
+			fwd[a] = b
+		}
+		if orig.NumClusters != rel.NumClusters {
+			t.Fatalf("%s: cluster count %d vs %d", name, orig.NumClusters, rel.NumClusters)
+		}
+	}
+}

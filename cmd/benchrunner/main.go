@@ -30,11 +30,37 @@ func main() {
 	eps := flag.Float64("eps", cfg.Eps, "ε: structural similarity threshold")
 	alpha := flag.Int("alpha", cfg.Alpha, "anySCAN Step-1 block size α")
 	beta := flag.Int("beta", cfg.Beta, "anySCAN Step-2/3 block size β")
+	relabel := flag.Bool("relabel", false, "renumber datasets in degree-descending order before measuring")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable BENCH_<date>.json (dataset × algorithm × threads: wall time, σ evaluations; plus query-index build time and per-(μ,ε) query latencies)")
 	jsonPath := flag.String("json-out", "", "path for the -json report (default BENCH_<date>.json)")
 	jsonSets := flag.String("json-datasets", "", "comma-separated datasets for the -json report (default: the Table I stand-ins)")
+	goBench := flag.String("gobench", "", "also render the -json report in `go test -bench` format to this path (benchstat-compatible)")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json reports: benchrunner -compare old.json new.json")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchrunner: -compare needs exactly two report paths: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := bench.LoadReport(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		newRep, err := bench.LoadReport(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteComparison(os.Stdout, oldRep, newRep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -44,6 +70,7 @@ func main() {
 	}
 
 	cfg.Scale, cfg.Mu, cfg.Eps, cfg.Alpha, cfg.Beta = *scale, *mu, *eps, *alpha, *beta
+	cfg.Relabel = *relabel
 	cfg.Threads = cfg.Threads[:0]
 	for _, part := range strings.Split(*threads, ",") {
 		t, err := strconv.Atoi(strings.TrimSpace(part))
@@ -55,10 +82,10 @@ func main() {
 	}
 
 	names := flag.Args()
-	if *jsonOut && len(names) == 0 {
-		// -json alone: emit the machine-readable report without re-running
-		// the text experiments.
-		writeJSONReport(cfg, *jsonSets, *jsonPath)
+	if (*jsonOut || *goBench != "") && len(names) == 0 {
+		// -json/-gobench alone: emit the machine-readable report without
+		// re-running the text experiments.
+		writeJSONReport(cfg, *jsonSets, *jsonPath, *goBench, *jsonOut)
 		return
 	}
 	if len(names) == 0 {
@@ -82,14 +109,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut {
-		writeJSONReport(cfg, *jsonSets, *jsonPath)
+	if *jsonOut || *goBench != "" {
+		writeJSONReport(cfg, *jsonSets, *jsonPath, *goBench, *jsonOut)
 	}
 }
 
 // writeJSONReport measures the -json dataset set and writes the
-// machine-readable report alongside the text output.
-func writeJSONReport(cfg bench.Config, datasetCSV, path string) {
+// machine-readable report (and/or its go-bench rendering) alongside the
+// text output.
+func writeJSONReport(cfg bench.Config, datasetCSV, path, goBenchPath string, writeJSON bool) {
 	names := datasets.RealNames()
 	if datasetCSV != "" {
 		names = names[:0]
@@ -102,12 +130,30 @@ func writeJSONReport(cfg bench.Config, datasetCSV, path string) {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
-	if path == "" {
-		path = rep.DefaultJSONPath()
+	if writeJSON {
+		if path == "" {
+			path = rep.DefaultJSONPath()
+		}
+		if err := rep.WriteJSON(path); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(cfg.Out, "\nwrote %s (%d records)\n", path, len(rep.Records))
 	}
-	if err := rep.WriteJSON(path); err != nil {
-		fmt.Fprintln(os.Stderr, "benchrunner:", err)
-		os.Exit(1)
+	if goBenchPath != "" {
+		f, err := os.Create(goBenchPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteGoBench(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(cfg.Out, "wrote %s (go-bench format)\n", goBenchPath)
 	}
-	fmt.Fprintf(cfg.Out, "\nwrote %s (%d records)\n", path, len(rep.Records))
 }

@@ -35,6 +35,10 @@ type Config struct {
 	// max(128, |V|/128), which matches the paper's default (8192 on graphs
 	// of 1M-5M vertices, i.e. well below 1% of |V|) at the reduced scales.
 	Alpha, Beta int
+	// Relabel renumbers every loaded dataset in degree-descending order
+	// before measuring (graph.RelabelByDegree) — the CSR layout the
+	// degree-adaptive kernels like best on skewed graphs.
+	Relabel bool
 	// Out receives the experiment report.
 	Out io.Writer
 }
@@ -131,7 +135,12 @@ func autoBlock(g *graph.CSR) int {
 }
 
 func (cfg Config) load(name string) (*graph.CSR, error) {
-	return datasets.Load(name, cfg.Scale)
+	g, err := datasets.Load(name, cfg.Scale)
+	if err != nil || !cfg.Relabel {
+		return g, err
+	}
+	relabeled, _ := graph.RelabelByDegree(g)
+	return relabeled, nil
 }
 
 // runAnySCAN executes anySCAN to completion and returns wall time + metrics.

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// LoadReport reads a BENCH_<date>.json report written by Report.WriteJSON.
+func LoadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// recordKey identifies a measurement cell across two reports: same dataset,
+// algorithm, thread count and — for index-query rows — the same (μ, ε).
+type recordKey struct {
+	Dataset   string
+	Algorithm string
+	Threads   int
+	Mu        int
+	Eps       float64
+}
+
+func keyOf(r Record) recordKey {
+	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps}
+}
+
+func (k recordKey) String() string {
+	s := fmt.Sprintf("%s/%s/threads=%d", k.Dataset, k.Algorithm, k.Threads)
+	if k.Mu != 0 || k.Eps != 0 {
+		s += fmt.Sprintf("/mu=%d,eps=%g", k.Mu, k.Eps)
+	}
+	return s
+}
+
+// Delta is one matched cell of a report comparison.
+type Delta struct {
+	Key          recordKey
+	OldMS, NewMS float64
+	// Speedup is old/new wall time (>1 means new is faster).
+	Speedup float64
+}
+
+// CompareReports matches the cells of two reports and returns the deltas
+// (sorted by key) plus the keys present in only one report.
+func CompareReports(oldRep, newRep Report) (deltas []Delta, onlyOld, onlyNew []recordKey) {
+	oldByKey := map[recordKey]Record{}
+	for _, r := range oldRep.Records {
+		oldByKey[keyOf(r)] = r
+	}
+	seen := map[recordKey]bool{}
+	for _, r := range newRep.Records {
+		k := keyOf(r)
+		seen[k] = true
+		o, ok := oldByKey[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		d := Delta{Key: k, OldMS: o.WallMS, NewMS: r.WallMS}
+		if r.WallMS > 0 {
+			d.Speedup = o.WallMS / r.WallMS
+		}
+		deltas = append(deltas, d)
+	}
+	for _, r := range oldRep.Records {
+		if !seen[keyOf(r)] {
+			onlyOld = append(onlyOld, keyOf(r))
+		}
+	}
+	sortKeys := func(ks []recordKey) {
+		sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Key.String() < deltas[j].Key.String() })
+	sortKeys(onlyOld)
+	sortKeys(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// WriteComparison renders a benchcmp-style delta table of two reports: one
+// row per matched (dataset, algorithm, threads[, μ, ε]) cell with old/new
+// wall time, the relative delta, and a geometric-mean speedup summary line.
+func WriteComparison(w io.Writer, oldRep, newRep Report) error {
+	deltas, onlyOld, onlyNew := CompareReports(oldRep, newRep)
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "no matching benchmark cells between the two reports")
+		return nil
+	}
+	tw := newTab(w)
+	fmt.Fprintf(tw, "benchmark\told ms\tnew ms\tdelta\tspeedup\n")
+	logSum, logN := 0.0, 0
+	for _, d := range deltas {
+		delta := "~"
+		speedup := "n/a"
+		if d.OldMS > 0 && d.NewMS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (d.NewMS-d.OldMS)/d.OldMS*100)
+			speedup = fmt.Sprintf("%.2fx", d.Speedup)
+			logSum += math.Log(d.Speedup)
+			logN++
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t%s\n", d.Key, d.OldMS, d.NewMS, delta, speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if logN > 0 {
+		fmt.Fprintf(w, "\ngeomean speedup: %.2fx over %d cells\n", math.Exp(logSum/float64(logN)), logN)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(w, "only in old report: %s\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(w, "only in new report: %s\n", k)
+	}
+	return nil
+}
+
+// WriteGoBench renders the report in the standard `go test -bench` output
+// format (one "Benchmark.../threads-N  1  <ns> ns/op" line per record), so
+// the records can be fed to benchstat and other Go benchmark tooling
+// alongside the native micro-benchmarks.
+func (rep Report) WriteGoBench(w io.Writer) error {
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: anyscan/internal/bench\n")
+	for _, r := range rep.Records {
+		name := fmt.Sprintf("Benchmark%s/%s/threads-%d",
+			goBenchName(r.Algorithm), goBenchName(r.Dataset), r.Threads)
+		if r.Mu != 0 || r.Eps != 0 {
+			name += fmt.Sprintf("/mu-%d-eps-%g", r.Mu, r.Eps)
+		}
+		ns := r.WallMS * 1e6
+		if _, err := fmt.Fprintf(w, "%s \t%8d\t%12.0f ns/op\t%12d sim-evals\n",
+			name, 1, ns, r.SimEvals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goBenchName maps free-form dataset/algorithm names onto the benchmark name
+// grammar (no spaces, '*' or '+' punctuation).
+func goBenchName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == '+':
+			b.WriteRune('p') // SCAN++ → SCANpp
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

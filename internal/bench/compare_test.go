@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func twoReports() (Report, Report) {
+	oldRep := Report{
+		Date: "2026-01-01",
+		Records: []Record{
+			{Dataset: "GR01L", Algorithm: "anySCAN", Threads: 4, WallMS: 200, SimEvals: 1000},
+			{Dataset: "GR01L", Algorithm: "anySCAN", Threads: 1, WallMS: 400, SimEvals: 1000},
+			{Dataset: "GR01L", Algorithm: "SCAN++", Threads: 1, WallMS: 300, SimEvals: 900},
+			{Dataset: "GR01L", Algorithm: "index-query", Threads: 4, Mu: 5, Eps: 0.5, WallMS: 3},
+			{Dataset: "GR02L", Algorithm: "anySCAN", Threads: 4, WallMS: 800, SimEvals: 5000},
+		},
+	}
+	newRep := Report{
+		Date: "2026-01-02",
+		Records: []Record{
+			{Dataset: "GR01L", Algorithm: "anySCAN", Threads: 4, WallMS: 100, SimEvals: 1000},
+			{Dataset: "GR01L", Algorithm: "anySCAN", Threads: 1, WallMS: 400, SimEvals: 1000},
+			{Dataset: "GR01L", Algorithm: "SCAN++", Threads: 1, WallMS: 600, SimEvals: 900},
+			{Dataset: "GR01L", Algorithm: "index-query", Threads: 4, Mu: 5, Eps: 0.5, WallMS: 1.5},
+			{Dataset: "GR03L", Algorithm: "anySCAN", Threads: 4, WallMS: 50, SimEvals: 100},
+		},
+	}
+	return oldRep, newRep
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep, newRep := twoReports()
+	deltas, onlyOld, onlyNew := CompareReports(oldRep, newRep)
+	if len(deltas) != 4 {
+		t.Fatalf("matched %d cells, want 4", len(deltas))
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Key.String()] = d
+	}
+	if d := byKey["GR01L/anySCAN/threads=4"]; d.Speedup != 2 {
+		t.Fatalf("anySCAN/4 speedup = %v, want 2", d.Speedup)
+	}
+	if d := byKey["GR01L/SCAN++/threads=1"]; d.Speedup != 0.5 {
+		t.Fatalf("SCAN++ speedup = %v, want 0.5 (regression)", d.Speedup)
+	}
+	if d := byKey["GR01L/index-query/threads=4/mu=5,eps=0.5"]; d.Speedup != 2 {
+		t.Fatalf("index-query speedup = %v, want 2", d.Speedup)
+	}
+	if len(onlyOld) != 1 || onlyOld[0].Dataset != "GR02L" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0].Dataset != "GR03L" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	oldRep, newRep := twoReports()
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, oldRep, newRep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"GR01L/anySCAN/threads=4", "2.00x", "-50.0%", "+100.0%",
+		"geomean speedup:",
+		"only in old report: GR02L/anySCAN/threads=4",
+		"only in new report: GR03L/anySCAN/threads=4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	oldRep, _ := twoReports()
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := oldRep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(oldRep.Records) || back.Date != oldRep.Date {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading a missing report did not fail")
+	}
+}
+
+func TestWriteGoBench(t *testing.T) {
+	oldRep, _ := twoReports()
+	var buf bytes.Buffer
+	if err := oldRep.WriteGoBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"goos: ",
+		"BenchmarkanySCAN/GR01L/threads-4",
+		"BenchmarkSCANpp/GR01L/threads-1",
+		"Benchmarkindex-query/GR01L/threads-4/mu-5-eps-0.5",
+		"ns/op",
+		"sim-evals",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("go-bench output missing %q:\n%s", want, out)
+		}
+	}
+}

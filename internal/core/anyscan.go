@@ -27,10 +27,10 @@ type Clusterer struct {
 	state []int32 // vertexState, atomic access
 	nei   []int32 // discovered ε-neighbors incl. self, atomic access
 
-	snOf     [][]int32              // super-node ids containing each vertex (SN_q)
-	snRep    []int32                // representative vertex per super-node
-	ds       *unionfind.DisjointSet // label forest over super-node ids
-	borderOf []int32                // Step 4: claiming super-node per former noise vertex (-1 otherwise)
+	snOf     [][]int32             // super-node ids containing each vertex (SN_q)
+	snRep    []int32               // representative vertex per super-node
+	ds       *unionfind.Concurrent // lock-free label forest over super-node ids
+	borderOf []int32               // Step 4: claiming super-node per former noise vertex (-1 otherwise)
 
 	noise    []int32   // noise list L (vertices examined as non-core in Step 1)
 	epsCache [][]int32 // cached N^ε for entries of L
@@ -54,11 +54,10 @@ type Clusterer struct {
 	blockEps   [][]int32
 	blockCore  []bool
 	blockSkip  []bool
-	promoted   [][]int32    // per-worker promotion buffers (Step 1)
-	mergeBuf   [][][2]int32 // per-worker merge-pair buffers (Step 3)
+	promoted   [][]int32 // per-worker promotion buffers (Step 1)
 
-	unionsSeq    int64 // unions performed in Step 1 (sequential part)
-	unionsStep23 int64 // unions performed in Steps 2-3 (the critical-section ones)
+	unionsSeq    int64        // unions performed in Step 1 (sequential part)
+	unionsStep23 atomic.Int64 // unions performed in Steps 2-3 (lock-free, inside the parallel loops)
 
 	// workerArcs[w] counts adjacency arcs processed by worker w in the
 	// parallel phases — a hardware-independent load-balance measure (the
@@ -73,12 +72,15 @@ type Clusterer struct {
 // Metrics reports the cumulative work of a run in the units the paper plots.
 type Metrics struct {
 	Sim          simeval.CounterValues
-	UnionsSeq    int64 // Step-1 unions (outside any critical section)
-	UnionsStep23 int64 // Step-2/3 unions (inside the critical section)
-	Finds        int64
-	SuperNodes   int
-	Iterations   int
-	Elapsed      time.Duration
+	UnionsSeq    int64 // Step-1 unions (sequential sub-phase)
+	UnionsStep23 int64 // Step-2/3 unions (performed lock-free inside the parallel loops)
+	// Finds is 0 when the run uses the lock-free union-find, which does not
+	// count finds (a shared counter would reintroduce the contended cache
+	// line the structure removes).
+	Finds      int64
+	SuperNodes int
+	Iterations int
+	Elapsed    time.Duration
 	// WorkerArcs is the number of adjacency arcs each worker processed in
 	// the parallel phases; its spread measures load balance independently
 	// of the host's physical core count.
@@ -136,7 +138,7 @@ func New(g *graph.CSR, opt Options) (*Clusterer, error) {
 		state:    make([]int32, n),
 		nei:      make([]int32, n),
 		snOf:     make([][]int32, n),
-		ds:       unionfind.New(0),
+		ds:       unionfind.NewConcurrent(0),
 		borderOf: make([]int32, n),
 		epsCache: make([][]int32, n),
 		order:    make([]int32, n),
@@ -162,7 +164,6 @@ func New(g *graph.CSR, opt Options) (*Clusterer, error) {
 
 	workers := opt.Threads
 	c.promoted = make([][]int32, workers)
-	c.mergeBuf = make([][][2]int32, workers)
 	c.workerArcs = make([]int64, workers)
 	return c, nil
 }
@@ -194,7 +195,7 @@ func (c *Clusterer) Progress() Progress {
 		SuperNodes: len(c.snRep),
 		Vertices:   len(c.state),
 		Touched:    touched,
-		Sims:       c.eng.C.Sims.Load(),
+		Sims:       c.eng.C.Snapshot().Sims,
 		Done:       c.phase == PhaseDone,
 	}
 }
@@ -204,7 +205,7 @@ func (c *Clusterer) Metrics() Metrics {
 	return Metrics{
 		Sim:          c.eng.C.Snapshot(),
 		UnionsSeq:    c.unionsSeq,
-		UnionsStep23: c.unionsStep23,
+		UnionsStep23: c.unionsStep23.Load(),
 		Finds:        c.ds.Finds(),
 		SuperNodes:   len(c.snRep),
 		Iterations:   c.iterations,
@@ -364,8 +365,10 @@ func (c *Clusterer) beginWeak() {
 // neighbors until μ similar ones (including self) are found or failure is
 // certain. This early-terminating check is the workhorse of Steps 2-4
 // ("we only need to explore its adjacency vertices until we know that p is
-// a core", Section III-A).
-func (c *Clusterer) coreCheck(p int32) bool {
+// a core", Section III-A). worker is the caller's parallel-for worker id
+// (0 in sequential sub-phases); it selects the per-worker similarity engine
+// with sharded counters and reusable kernel scratch.
+func (c *Clusterer) coreCheck(worker int, p int32) bool {
 	cnt := 1 // self
 	adj, wts := c.g.Neighbors(p)
 	lo, _ := c.g.NeighborRange(p)
@@ -374,7 +377,7 @@ func (c *Clusterer) coreCheck(p int32) bool {
 		if cnt+len(adj)-i < mu {
 			return false // even all-similar remainders cannot reach μ
 		}
-		if c.similarArc(p, lo+int64(i), q, wts[i]) {
+		if c.similarArc(worker, p, lo+int64(i), q, wts[i]) {
 			cnt++
 			if cnt >= mu {
 				return true
@@ -384,19 +387,20 @@ func (c *Clusterer) coreCheck(p int32) bool {
 	return cnt >= mu
 }
 
-// similarArc reports whether σ(p, q) ≥ ε for the arc p→q with weight w,
+// similarArc reports whether σ(p, q) ≥ ε for the arc p→q with weight wt,
 // consulting the shared per-edge memo when Options.EdgeMemo is enabled.
 // Concurrent duplicate evaluations are benign: the outcome is deterministic
 // and both racers store the same value with atomic writes.
-func (c *Clusterer) similarArc(p int32, arc int64, q int32, w float32) bool {
+func (c *Clusterer) similarArc(worker int, p int32, arc int64, q int32, wt float32) bool {
+	we := c.eng.ForWorker(worker)
 	if c.memo == nil {
-		return c.eng.SimilarEdge(p, q, w)
+		return we.SimilarEdge(p, q, wt)
 	}
 	if s := atomic.LoadInt32(&c.memo[arc]); s != 0 {
-		c.eng.C.Shared.Add(1)
+		c.eng.C.Shard(worker).Shared.Add(1)
 		return s == 1
 	}
-	ok := c.eng.SimilarEdge(p, q, w)
+	ok := we.SimilarEdge(p, q, wt)
 	v := int32(2)
 	if ok {
 		v = 1
@@ -407,9 +411,10 @@ func (c *Clusterer) similarArc(p int32, arc int64, q int32, w float32) bool {
 }
 
 // clusterOf returns the current cluster root of v's first super-node, or -1
-// when v belongs to none. Read-only: safe inside parallel phases as long as
-// no thread mutates the forest concurrently (all unions happen in the
-// sequential sub-phases).
+// when v belongs to none. Safe inside parallel phases even while other
+// workers union concurrently: connectivity is monotone, so an observed
+// "same root" stays true forever and a stale "different root" only costs a
+// redundant (idempotent) examination.
 func (c *Clusterer) clusterOf(v int32) int32 {
 	if len(c.snOf[v]) == 0 {
 		return -1

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"anyscan/internal/gen"
+)
+
+// BenchmarkStep23 isolates the merge phases (Steps 2–3) that the lock-free
+// union-find parallelizes: a run is advanced through Step 1 once, the state
+// checkpointed, and each iteration resumes from that checkpoint (untimed) and
+// executes only the Strong/Weak phases. The RMAT graph's degree skew makes
+// this the contended workload from the paper's Fig. 11.
+func BenchmarkStep23(b *testing.B) {
+	g := gen.RMAT(13, 60000, 0.45, 0.2, 0.2, gen.WeightConfig{}, 1)
+	for _, threads := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			o := DefaultOptions()
+			o.Mu, o.Eps, o.Threads, o.Seed = 4, 0.4, threads, 7
+			// Small blocks fragment the super-nodes, so Steps 2–3 have real
+			// merge work to do (the phase this benchmark isolates).
+			o.Alpha, o.Beta = 512, 2048
+			c, err := New(g, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for c.Phase() == PhaseSummarize {
+				c.Step()
+			}
+			var ckpt bytes.Buffer
+			if err := c.SaveCheckpoint(&ckpt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				r, err := LoadCheckpoint(g, bytes.NewReader(ckpt.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for r.Phase() == PhaseStrong || r.Phase() == PhaseWeak {
+					r.Step()
+				}
+			}
+		})
+	}
+}

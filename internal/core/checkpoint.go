@@ -88,7 +88,7 @@ func (c *Clusterer) checkpointSnapshot() checkpointState {
 		WorkPos:      c.workPos,
 		Memo:         c.memo,
 		UnionsSeq:    c.unionsSeq,
-		UnionsStep23: c.unionsStep23,
+		UnionsStep23: c.unionsStep23.Load(),
 		WorkerArcs:   c.workerArcs,
 		Iterations:   c.iterations,
 		Elapsed:      c.elapsed,
@@ -152,35 +152,38 @@ func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
 	if err := st.validate(g, opt); err != nil {
 		return nil, fmt.Errorf("anyscan: checkpoint state invalid: %w", err)
 	}
-	ds, err := unionfind.Restore(st.DSParent, st.DSRank, st.DSSets)
+	// Checkpoints written before the lock-free union-find carry a rank-based
+	// forest; RestoreConcurrent accepts both (ranks never influenced the
+	// partition, only tree shape).
+	ds, err := unionfind.RestoreConcurrent(st.DSParent, st.DSRank, st.DSSets)
 	if err != nil {
 		return nil, fmt.Errorf("anyscan: checkpoint: %w", err)
 	}
 
 	c := &Clusterer{
-		g:            g,
-		opt:          opt,
-		eng:          simeval.New(g, opt.Eps, opt.Sim),
-		state:        st.State,
-		nei:          st.Nei,
-		snOf:         st.SnOf,
-		snRep:        st.SnRep,
-		ds:           ds,
-		borderOf:     st.BorderOf,
-		noise:        st.Noise,
-		epsCache:     st.EpsCache,
-		order:        st.Order,
-		cursor:       st.Cursor,
-		phase:        st.Phase,
-		workS:        st.WorkS,
-		workT:        st.WorkT,
-		workPos:      st.WorkPos,
-		memo:         st.Memo,
-		unionsSeq:    st.UnionsSeq,
-		unionsStep23: st.UnionsStep23,
-		iterations:   st.Iterations,
-		elapsed:      st.Elapsed,
+		g:          g,
+		opt:        opt,
+		eng:        simeval.New(g, opt.Eps, opt.Sim),
+		state:      st.State,
+		nei:        st.Nei,
+		snOf:       st.SnOf,
+		snRep:      st.SnRep,
+		ds:         ds,
+		borderOf:   st.BorderOf,
+		noise:      st.Noise,
+		epsCache:   st.EpsCache,
+		order:      st.Order,
+		cursor:     st.Cursor,
+		phase:      st.Phase,
+		workS:      st.WorkS,
+		workT:      st.WorkT,
+		workPos:    st.WorkPos,
+		memo:       st.Memo,
+		unionsSeq:  st.UnionsSeq,
+		iterations: st.Iterations,
+		elapsed:    st.Elapsed,
 	}
+	c.unionsStep23.Store(st.UnionsStep23)
 	copy(c.phaseTime[:], st.PhaseTime)
 	c.eng.C.Restore(st.Sim)
 	if opt.EdgeMemo {
@@ -188,7 +191,6 @@ func LoadCheckpoint(g *graph.CSR, r io.Reader) (*Clusterer, error) {
 	}
 	workers := opt.Threads
 	c.promoted = make([][]int32, workers)
-	c.mergeBuf = make([][][2]int32, workers)
 	c.workerArcs = make([]int64, workers)
 	if len(st.WorkerArcs) == workers {
 		copy(c.workerArcs, st.WorkerArcs)

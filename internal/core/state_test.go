@@ -143,7 +143,7 @@ func TestCoreCheckAgainstDefinition(t *testing.T) {
 				}
 			}
 			want := cnt >= mu
-			if got := c.coreCheck(v); got != want {
+			if got := c.coreCheck(0, v); got != want {
 				t.Fatalf("mu=%d vertex %d: coreCheck=%v, definition=%v", mu, v, got, want)
 			}
 		}

@@ -41,14 +41,14 @@ func (c *Clusterer) stepSummarize(ctx context.Context) (bool, error) {
 	// buffer of its vertices and marks the vertex processed-core or
 	// processed-noise. No cross-vertex writes, so no synchronization beyond
 	// the final barrier.
-	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
+	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, par.Adaptive, func(w, i int) {
 		p := c.blockVerts[i]
 		buf := c.blockEps[i][:0]
 		adj, wts := c.g.Neighbors(p)
 		lo, _ := c.g.NeighborRange(p)
 		c.workerArcs[w] += int64(len(adj))
 		for j, q := range adj {
-			if c.similarArc(p, lo+int64(j), q, wts[j]) {
+			if c.similarArc(w, p, lo+int64(j), q, wts[j]) {
 				buf = append(buf, q)
 			}
 		}
@@ -80,7 +80,7 @@ func (c *Clusterer) stepSummarize(ctx context.Context) (bool, error) {
 	// unprocessed-core and queued so phase 3 can merge its super-nodes
 	// (Lemma 2) — the increment can come from a noise vertex, a case the
 	// paper's pseudocode would leave unmerged.
-	par.ForWorker(k, c.opt.Threads, 8, func(w, i int) {
+	par.ForWorker(k, c.opt.Threads, par.Adaptive, func(w, i int) {
 		isCore := c.blockCore[i]
 		for _, q := range c.blockEps[i] {
 			if isCore {

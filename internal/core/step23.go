@@ -8,15 +8,22 @@ import (
 
 // stepStrong performs one Step-2 iteration over a block of β vertices from
 // the worklist S: in parallel, each vertex is pruned (all its super-nodes
-// already share a cluster) or core-checked; sequentially, vertices found to
-// be cores merge all their super-nodes (Lemma 2). Returns false when S is
-// exhausted.
+// already share a cluster) or core-checked, and vertices found to be cores
+// merge all their super-nodes (Lemma 2) directly inside the parallel loop —
+// the lock-free union-find replaces the paper's critical section (Fig. 4
+// line 41), so workers never serialize. Returns false when S is exhausted.
 //
-// Cancellation: the parallel phase writes only per-block scratch — every
-// state transition and union happens in the sequential phase. When ctx
-// fires mid-phase the scratch is simply discarded and the worklist cursor
-// rewound, so nothing needs rolling back; the re-run repeats the block's
-// core checks (cheap again under Options.EdgeMemo).
+// Correctness under concurrency: the prune reads the forest while other
+// workers union, but connectivity is monotone — an observed "all same
+// cluster" can never be invalidated, and a stale "different" only costs a
+// redundant core check. State transitions touch only the vertex's own state,
+// and every union is justified by Lemma 2 independent of ordering, so any
+// interleaving yields the same partition.
+//
+// Cancellation: transitions are deterministic verdicts and applied unions
+// remain valid, so when ctx fires mid-block the worklist cursor is simply
+// rewound and the re-run reproduces the block idempotently (cheap again
+// under Options.EdgeMemo).
 func (c *Clusterer) stepStrong(ctx context.Context) (bool, error) {
 	if c.workPos >= len(c.workS) {
 		return false, nil
@@ -28,76 +35,61 @@ func (c *Clusterer) stepStrong(ctx context.Context) (bool, error) {
 	}
 	block := c.workS[c.workPos:end]
 	c.workPos = end
-	k := len(block)
-	c.growScratch(k)
 
-	// Parallel phase: prune or core-check. The disjoint set is only read
-	// here (FindNoCompress), all unions happen in the sequential phase.
-	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
+	err := par.ForWorkerCtx(ctx, len(block), c.opt.Threads, par.Adaptive, func(w, i int) {
 		p := block[i]
 		sns := c.snOf[p]
-		same := false
 		if !c.opt.Ablation.NoPruning {
 			root := c.ds.FindNoCompress(sns[0])
-			same = true
+			same := true
 			for _, s := range sns[1:] {
 				if c.ds.FindNoCompress(s) != root {
 					same = false
 					break
 				}
 			}
+			if same {
+				// Examining p cannot change the clustering (Fig. 2 line 25);
+				// its coreness stays unknown.
+				return
+			}
 		}
-		if same {
-			// Examining p cannot change the clustering (Fig. 2 line 25);
-			// its coreness stays unknown.
-			c.blockSkip[i] = true
-			c.blockCore[i] = false
+		c.workerArcs[w] += int64(c.g.Degree(p))
+		if !c.coreCheck(w, p) {
+			c.setState(p, stateProcBorder)
 			return
 		}
-		c.blockSkip[i] = false
-		c.workerArcs[w] += int64(c.g.Degree(p))
-		c.blockCore[i] = c.coreCheck(p)
+		c.setState(p, stateUnprocCore)
+		for j := 1; j < len(sns); j++ {
+			if c.ds.Union(sns[0], sns[j]) {
+				c.unionsStep23.Add(1)
+			}
+		}
 	})
 	if err != nil {
 		c.workPos = posStart
 		return true, err
-	}
-
-	// Sequential phase: apply state transitions and the Lemma-2 unions.
-	for i, p := range block {
-		if c.blockSkip[i] {
-			continue
-		}
-		if !c.blockCore[i] {
-			c.setState(p, stateProcBorder)
-			continue
-		}
-		c.setState(p, stateUnprocCore)
-		sns := c.snOf[p]
-		for j := 1; j < len(sns); j++ {
-			if c.ds.Union(sns[0], sns[j]) {
-				c.unionsStep23++
-			}
-		}
 	}
 	return true, nil
 }
 
 // stepWeak performs one Step-3 iteration over a block of β vertices from the
 // worklist T, detecting weakly-related super-nodes that must merge because
-// two adjacent cores are structurally similar (Lemma 3). Three phases:
-// (A, parallel) prune vertices whose whole neighborhood already shares their
-// cluster, core-check the rest; (B1, parallel) evaluate σ on candidate
-// core-core edges crossing clusters and collect merge pairs; (B2,
-// sequential) apply the unions. Returns false when T is exhausted.
+// two adjacent cores are structurally similar (Lemma 3). Two parallel
+// phases: (A) prune vertices whose whole neighborhood already shares their
+// cluster, core-check the rest; (B) evaluate σ on candidate core-core edges
+// crossing clusters and union the matching super-nodes immediately — the
+// lock-free union-find removes both the paper's critical section (Fig. 4
+// line 60) and the buffered-pairs post-pass this implementation previously
+// used. Returns false when T is exhausted.
 //
-// Cancellation: both parallel phases poll ctx. Phase A's state transitions
-// (unprocessed-border → unprocessed-core / processed-border) are
-// deterministic verdicts, so re-running the block after an interruption
-// reproduces them; phase B1's buffered merge pairs each carry a proven
-// σ ≥ ε between two cores, so the pairs collected before the interruption
-// are applied (the merges are valid regardless) and the block is re-run for
-// the rest.
+// The A/B barrier is kept: phase B consults coreness verdicts of *other*
+// block vertices (isKnownCore on neighbors), which phase A establishes.
+//
+// Cancellation: both phases poll ctx. Phase A's state transitions are
+// deterministic verdicts, so re-running the block reproduces them; every
+// union phase B applied carries a proven σ ≥ ε core-core edge and stays
+// valid, so the block is simply re-run for the remainder.
 func (c *Clusterer) stepWeak(ctx context.Context) (bool, error) {
 	if c.workPos >= len(c.workT) {
 		return false, nil
@@ -113,7 +105,7 @@ func (c *Clusterer) stepWeak(ctx context.Context) (bool, error) {
 	c.growScratch(k)
 
 	// Phase A: prune + core check. Writes only the vertex's own state.
-	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
+	err := par.ForWorkerCtx(ctx, k, c.opt.Threads, par.Adaptive, func(w, i int) {
 		p := block[i]
 		c.workerArcs[w] += int64(c.g.Degree(p))
 		pruned := false
@@ -137,7 +129,7 @@ func (c *Clusterer) stepWeak(ctx context.Context) (bool, error) {
 		}
 		c.blockSkip[i] = false
 		if c.loadState(p) == stateUnprocBorder {
-			if c.coreCheck(p) {
+			if c.coreCheck(w, p) {
 				c.setState(p, stateUnprocCore)
 				c.blockCore[i] = true
 			} else {
@@ -156,11 +148,12 @@ func (c *Clusterer) stepWeak(ctx context.Context) (bool, error) {
 		return true, err
 	}
 
-	// Phase B1: for each core of the block, evaluate σ against known-core
+	// Phase B: for each core of the block, evaluate σ against known-core
 	// neighbors in other clusters (the expensive similarity work stays
-	// parallel, as in Fig. 4 lines 53-61); merge pairs are buffered per
-	// worker instead of a critical section.
-	err = par.ForWorkerCtx(ctx, k, c.opt.Threads, 8, func(w, i int) {
+	// parallel, as in Fig. 4 lines 53-61) and union directly. The crossing
+	// check races concurrent unions benignly: a stale "different cluster"
+	// costs one σ evaluation whose Union then no-ops.
+	err = par.ForWorkerCtx(ctx, k, c.opt.Threads, par.Adaptive, func(w, i int) {
 		if c.blockSkip[i] || !c.blockCore[i] {
 			return
 		}
@@ -176,25 +169,15 @@ func (c *Clusterer) stepWeak(ctx context.Context) (bool, error) {
 			if c.ds.FindNoCompress(qSn) == c.ds.FindNoCompress(mySn) {
 				continue
 			}
-			if c.similarArc(p, lo+int64(j), q, wts[j]) {
-				c.mergeBuf[w] = append(c.mergeBuf[w], [2]int32{mySn, qSn})
+			if c.similarArc(w, p, lo+int64(j), q, wts[j]) {
+				if c.ds.Union(mySn, qSn) {
+					c.unionsStep23.Add(1)
+				}
 			}
 		}
 	})
 	if err != nil {
 		c.workPos = posStart
-	}
-
-	// Phase B2: apply the buffered unions. Each pair carries a proven
-	// σ ≥ ε core-core edge, so applying them is correct even when B1 was
-	// interrupted and the block will be re-run.
-	for w := range c.mergeBuf {
-		for _, pair := range c.mergeBuf[w] {
-			if c.ds.Union(pair[0], pair[1]) {
-				c.unionsStep23++
-			}
-		}
-		c.mergeBuf[w] = c.mergeBuf[w][:0]
 	}
 	return true, err
 }

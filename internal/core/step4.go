@@ -28,13 +28,13 @@ func (c *Clusterer) stepBorders(ctx context.Context) error {
 			work = append(work, v)
 		}
 	}
-	return par.ForCtx(ctx, len(work), c.opt.Threads, 16, func(i int) {
+	return par.ForWorkerCtx(ctx, len(work), c.opt.Threads, par.Adaptive, func(w, i int) {
 		p := work[i]
 		if c.loadState(p) == stateProcNoise {
 			// Every potential claiming core is in N^ε(p), all of whose
 			// members are already similar to p.
 			for _, q := range c.epsCache[p] {
-				if c.tryAttach(p, q) {
+				if c.tryAttach(w, p, q) {
 					return
 				}
 			}
@@ -48,10 +48,10 @@ func (c *Clusterer) stepBorders(ctx context.Context) error {
 			if !isKnownCore(qs) && qs != stateUnprocBorder {
 				continue
 			}
-			if !c.similarArc(p, lo+int64(j), q, wts[j]) {
+			if !c.similarArc(w, p, lo+int64(j), q, wts[j]) {
 				continue
 			}
-			if c.tryAttach(p, q) {
+			if c.tryAttach(w, p, q) {
 				return
 			}
 		}
@@ -61,12 +61,12 @@ func (c *Clusterer) stepBorders(ctx context.Context) error {
 
 // tryAttach makes p a border of q's cluster if q is (or turns out to be) a
 // core. σ(p,q) ≥ ε must already be established by the caller.
-func (c *Clusterer) tryAttach(p, q int32) bool {
+func (c *Clusterer) tryAttach(worker int, p, q int32) bool {
 	switch s := c.loadState(q); {
 	case isKnownCore(s):
 		// q's cluster claims p.
 	case s == stateUnprocBorder:
-		if !c.coreCheckPromote(q) {
+		if !c.coreCheckPromote(worker, q) {
 			return false
 		}
 	default:
@@ -80,8 +80,8 @@ func (c *Clusterer) tryAttach(p, q int32) bool {
 // coreCheckPromote core-checks the unprocessed-border vertex q and records
 // the verdict in its state. Concurrent workers may check the same q; the
 // verdict is deterministic, so the racing CAS transitions agree.
-func (c *Clusterer) coreCheckPromote(q int32) bool {
-	if c.coreCheck(q) {
+func (c *Clusterer) coreCheckPromote(worker int, q int32) bool {
+	if c.coreCheck(worker, q) {
 		c.casState(q, stateUnprocBorder, stateUnprocCore)
 		return true
 	}
@@ -102,7 +102,7 @@ func (c *Clusterer) resolveRoles(ctx context.Context) error {
 			work = append(work, v)
 		}
 	}
-	return par.ForCtx(ctx, len(work), c.opt.Threads, 16, func(i int) {
-		c.coreCheckPromote(work[i])
+	return par.ForWorkerCtx(ctx, len(work), c.opt.Threads, par.Adaptive, func(w, i int) {
+		c.coreCheckPromote(w, work[i])
 	})
 }

@@ -1,0 +1,58 @@
+package graph
+
+import "sort"
+
+// RelabelByDegree returns a copy of g whose vertices are renumbered in
+// non-increasing degree order (ties broken by old id ascending, so the
+// relabeling is deterministic), plus the permutation perm with
+// perm[old] = new.
+//
+// Degree-descending ids improve the locality of the similarity hot path on
+// skewed graphs: hubs cluster at the front of every CSR array, adjacency
+// lists of high-degree vertices are visited through small ids (dense bitset
+// prefixes, warmer cache lines), and the per-worker hub scratch of
+// simeval.WorkerEngine keys on the low id range. The relabeled graph is
+// isomorphic to g — clustering it and mapping labels back through perm
+// yields the same partition — but its fingerprint differs, so checkpoints
+// and persisted indexes are tied to the layout they were created with.
+func RelabelByDegree(g *CSR) (*CSR, []int32) {
+	n := g.NumVertices()
+	// order[new] = old, sorted by degree descending then old id ascending.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	perm := make([]int32, n)
+	for newV, old := range order {
+		perm[old] = int32(newV)
+	}
+
+	h := &CSR{
+		offsets:   make([]int64, n+1),
+		neighbors: make([]int32, len(g.neighbors)),
+		weights:   make([]float32, len(g.weights)),
+	}
+	for newV, old := range order {
+		h.offsets[newV+1] = h.offsets[newV] + int64(g.Degree(old))
+	}
+	for newV, old := range order {
+		adj, wts := g.Neighbors(old)
+		lo := h.offsets[newV]
+		dst := h.neighbors[lo : lo+int64(len(adj))]
+		dw := h.weights[lo : lo+int64(len(adj))]
+		for j, q := range adj {
+			dst[j] = perm[q]
+			dw[j] = wts[j]
+		}
+		sortAdjacency(dst, dw) // shared with Builder: neighbor ids ascending
+	}
+	h.finalize()
+	return h, perm
+}

@@ -1,0 +1,72 @@
+package graph
+
+import "testing"
+
+func TestRelabelByDegreeIsIsomorphic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomGraphWeighted(200, 900, seed)
+		h, perm := RelabelByDegree(g)
+
+		if err := h.Validate(); err != nil {
+			t.Fatalf("seed %d: relabeled graph invalid: %v", seed, err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumArcs() != g.NumArcs() {
+			t.Fatalf("seed %d: size changed: %d/%d vertices, %d/%d arcs",
+				seed, h.NumVertices(), g.NumVertices(), h.NumArcs(), g.NumArcs())
+		}
+		// perm is a permutation.
+		seen := make([]bool, g.NumVertices())
+		for old, newV := range perm {
+			if newV < 0 || int(newV) >= g.NumVertices() || seen[newV] {
+				t.Fatalf("seed %d: perm is not a permutation at old id %d", seed, old)
+			}
+			seen[newV] = true
+		}
+		// Every edge maps with its weight; degrees are preserved pointwise.
+		for u := int32(0); u < int32(g.NumVertices()); u++ {
+			if g.Degree(u) != h.Degree(perm[u]) {
+				t.Fatalf("seed %d: degree of %d changed under relabeling", seed, u)
+			}
+			adj, wts := g.Neighbors(u)
+			for j, q := range adj {
+				if w := h.EdgeWeight(perm[u], perm[q]); w != wts[j] {
+					t.Fatalf("seed %d: edge (%d,%d) weight %v became %v", seed, u, q, wts[j], w)
+				}
+			}
+		}
+	}
+}
+
+func TestRelabelByDegreeOrdersDegreesDescending(t *testing.T) {
+	g := randomGraphWeighted(300, 2000, 7)
+	h, perm := RelabelByDegree(g)
+	for v := int32(1); v < int32(h.NumVertices()); v++ {
+		if h.Degree(v-1) < h.Degree(v) {
+			t.Fatalf("degree sequence not non-increasing at new id %d", v)
+		}
+	}
+	// Ties break by old id: among equal degrees, old ids must ascend.
+	oldOf := make([]int32, len(perm))
+	for old, newV := range perm {
+		oldOf[newV] = int32(old)
+	}
+	for v := int32(1); v < int32(h.NumVertices()); v++ {
+		if h.Degree(v-1) == h.Degree(v) && oldOf[v-1] >= oldOf[v] {
+			t.Fatalf("tie at degree %d not broken by old id (new ids %d,%d → old %d,%d)",
+				h.Degree(v), v-1, v, oldOf[v-1], oldOf[v])
+		}
+	}
+}
+
+func TestRelabelByDegreeEmptyAndSingleton(t *testing.T) {
+	var b Builder
+	b.SetNumVertices(3)
+	g, err := b.Build() // three isolated vertices
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, perm := RelabelByDegree(g)
+	if h.NumVertices() != 3 || h.NumArcs() != 0 || len(perm) != 3 {
+		t.Fatalf("isolated-vertex relabel wrong shape")
+	}
+}

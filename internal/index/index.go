@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anyscan/internal/cluster"
@@ -62,6 +63,7 @@ type Index struct {
 
 	simEvals int64         // exact σ evaluations spent building (0 for loads)
 	buildTau time.Duration // wall time of Build (0 for loads)
+	threads  int           // worker count for large parallel queries
 
 	mu     sync.Mutex
 	orders map[int]*coreOrder // μ → memoized core order
@@ -85,26 +87,32 @@ func Build(g *graph.CSR, threads int) *Index {
 	eng := simeval.New(g, 0, simeval.Options{}) // exact values: no pruning
 	rev := g.ReverseEdgeIndex()
 
+	// Each worker evaluates through its own WorkerEngine (degree-adaptive
+	// join kernels, private scratch) and counts its evaluations in the
+	// reduction accumulator, so the hot loop touches no shared cache line.
 	sigma := make([]float64, g.NumArcs())
-	par.For(n, threads, 16, func(i int) {
+	evals := par.Reduce(n, threads, par.Adaptive, func(w, i int, acc int64) int64 {
+		we := eng.ForWorker(w)
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
 		for e := lo; e < hi; e++ {
-			q, w := g.Arc(e)
+			q, wt := g.Arc(e)
 			if v < q {
-				eng.C.Sims.Add(1)
-				num, denom := eng.EdgeNumerator(v, q, w)
+				acc++
+				num, denom := we.EdgeNumerator(v, q, wt)
 				s := simeval.Crossing(num, denom)
 				sigma[e] = s
 				sigma[rev[e]] = s
 			}
 		}
-	})
+		return acc
+	}, func(a, b int64) int64 { return a + b })
 
 	x := &Index{
 		g:        g,
 		sigma:    sigma,
-		simEvals: eng.C.Sims.Load(),
+		simEvals: evals,
+		threads:  threads,
 		orders:   map[int]*coreOrder{},
 	}
 	x.sortNeighbors(threads)
@@ -236,24 +244,60 @@ func (x *Index) Query(mu int, eps float64) (*cluster.Result, error) {
 	k := sort.Search(len(co.verts), func(i int) bool { return co.thr[i] < eps })
 	cores := co.verts[:k]
 
-	ds := unionfind.New(n)
+	// Small answers stay sequential (a handful of cores does not amortize a
+	// fork/join); large ones fan the core walk out over the lock-free
+	// union-find. Both paths produce the same partition and the same
+	// smallest-core border claims, so after canonicalization the result is
+	// identical either way.
+	ds := unionfind.NewConcurrent(n)
 	claim := make([]int32, n) // border v → smallest adjacent qualifying core
 	for i := range claim {
 		claim[i] = -1
 	}
-	for _, u := range cores {
-		lo, hi := x.g.NeighborRange(u)
-		for e := lo; e < hi; e++ {
-			if x.nbrSig[e] < eps {
-				break // sorted descending: the rest are dissimilar too
-			}
-			q := x.nbr[e]
-			if x.CoreThreshold(q, mu) >= eps {
-				if u < q { // each core-core edge once
-					ds.Union(u, q)
+	if x.threads != 1 && len(cores) >= parallelQueryMin {
+		par.For(len(cores), x.threads, par.Adaptive, func(i int) {
+			u := cores[i]
+			lo, hi := x.g.NeighborRange(u)
+			for e := lo; e < hi; e++ {
+				if x.nbrSig[e] < eps {
+					break // sorted descending: the rest are dissimilar too
 				}
-			} else if c := claim[q]; c == -1 || u < c {
-				claim[q] = u
+				q := x.nbr[e]
+				if x.CoreThreshold(q, mu) >= eps {
+					if u < q { // each core-core edge once
+						ds.Union(u, q)
+					}
+					continue
+				}
+				// CAS-min keeps the claim deterministic under races: the
+				// final value is min over all claiming cores regardless of
+				// arrival order.
+				for {
+					c := atomic.LoadInt32(&claim[q])
+					if c != -1 && c <= u {
+						break
+					}
+					if atomic.CompareAndSwapInt32(&claim[q], c, u) {
+						break
+					}
+				}
+			}
+		})
+	} else {
+		for _, u := range cores {
+			lo, hi := x.g.NeighborRange(u)
+			for e := lo; e < hi; e++ {
+				if x.nbrSig[e] < eps {
+					break // sorted descending: the rest are dissimilar too
+				}
+				q := x.nbr[e]
+				if x.CoreThreshold(q, mu) >= eps {
+					if u < q { // each core-core edge once
+						ds.Union(u, q)
+					}
+				} else if c := claim[q]; c == -1 || u < c {
+					claim[q] = u
+				}
 			}
 		}
 	}
@@ -273,3 +317,8 @@ func (x *Index) Query(mu int, eps float64) (*cluster.Result, error) {
 	res.Canonicalize()
 	return res, nil
 }
+
+// parallelQueryMin is the core-prefix size above which Query fans the
+// core-edge walk out across workers; below it the fork/join overhead exceeds
+// the walk itself.
+const parallelQueryMin = 4096

@@ -113,9 +113,10 @@ func restore(g *graph.CSR, payload []byte, threads int) (*Index, error) {
 		}
 	}
 	x := &Index{
-		g:      g,
-		sigma:  p.Sigma,
-		orders: map[int]*coreOrder{},
+		g:       g,
+		sigma:   p.Sigma,
+		threads: threads,
+		orders:  map[int]*coreOrder{},
 	}
 	x.sortNeighbors(threads)
 	return x, nil

@@ -27,10 +27,47 @@ import (
 	"sync/atomic"
 )
 
-// DefaultGrain is the number of loop iterations a worker claims at once when
-// the caller does not specify a grain. Small enough to balance skewed work,
-// large enough to keep the atomic cursor off the hot path.
+// DefaultGrain is the historical fixed chunk size. It remains exported for
+// callers that want a known grain, but since the adaptive scheduler landed
+// the recommended way to pick a grain is to pass Adaptive (or any value
+// <= 0) and let Grain scale the chunk to the loop.
 const DefaultGrain = 64
+
+// Adaptive, passed as the grain argument, asks the scheduler to size chunks
+// from the iteration count and worker count via Grain.
+const Adaptive = 0
+
+// Adaptive grain bounds: at least chunksPerWorker chunks per worker so
+// skewed per-item costs still balance, with the chunk clamped so tiny loops
+// do not thrash the atomic cursor and huge loops do not starve stragglers.
+const (
+	chunksPerWorker = 16
+	minGrain        = 8
+	maxGrain        = 2048
+)
+
+// Grain returns the adaptive chunk size used when a parallel-for is called
+// with grain <= 0: n/(workers·chunksPerWorker), clamped to
+// [minGrain, maxGrain]. Dividing each worker's share into chunksPerWorker
+// pieces keeps dynamic scheduling effective on degree-skewed graphs (the
+// paper's GR02/GR03 load-balance concern) while touching the shared cursor
+// O(workers·chunksPerWorker) times instead of O(n/DefaultGrain).
+func Grain(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := n / (workers * chunksPerWorker)
+	if g < minGrain {
+		return minGrain
+	}
+	if g > maxGrain {
+		return maxGrain
+	}
+	return g
+}
+
+// defaultWorkers returns the worker count used when a caller passes <= 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // WorkerPanic wraps a panic recovered from a parallel-for worker goroutine.
 // It is re-raised (via panic) on the goroutine that called For/ForWorker/
@@ -90,7 +127,7 @@ func ForWorkerCtx(ctx context.Context, n, workers, grain int, fn func(worker, i 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if grain <= 0 {
-		grain = DefaultGrain
+		grain = Grain(n, workers)
 	}
 	if workers == 1 || n <= grain {
 		// Inline: no goroutine, panics propagate naturally on the caller.

@@ -220,6 +220,97 @@ func TestWorkerPanicUnwrapsErrors(t *testing.T) {
 	})
 }
 
+func TestGrainBoundsAndScaling(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{0, 4, minGrain},                  // empty loop: clamp floor
+		{100, 4, minGrain},                // small loop: clamp floor
+		{1 << 20, 4, maxGrain},            // huge loop: clamp ceiling
+		{64 * chunksPerWorker * 4, 4, 64}, // in range: n/(workers·chunks)
+	}
+	for _, c := range cases {
+		if got := Grain(c.n, c.workers); got != c.want {
+			t.Errorf("Grain(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+	// More workers must never increase the grain (finer chunks balance better).
+	if Grain(1<<16, 16) > Grain(1<<16, 2) {
+		t.Error("grain grew with worker count")
+	}
+}
+
+func TestAdaptiveGrainCoversAllIndices(t *testing.T) {
+	for _, n := range []int{1, 63, 4096, 100000} {
+		hits := make([]int32, n)
+		ForWorker(n, 4, Adaptive, func(w, i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times under adaptive grain", n, i, h)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 10, 4096} {
+			got := Reduce(n, workers, Adaptive,
+				func(_, i int, acc int64) int64 { return acc + int64(i) },
+				func(a, b int64) int64 { return a + b })
+			want := int64(n) * int64(n-1) / 2
+			if got != want {
+				t.Fatalf("workers=%d n=%d: sum = %d, want %d", workers, n, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceStructAccumulator(t *testing.T) {
+	type stats struct{ count, max int64 }
+	got := Reduce(1000, 4, 7,
+		func(_, i int, acc stats) stats {
+			acc.count++
+			if int64(i) > acc.max {
+				acc.max = int64(i)
+			}
+			return acc
+		},
+		func(a, b stats) stats {
+			a.count += b.count
+			if b.max > a.max {
+				a.max = b.max
+			}
+			return a
+		})
+	if got.count != 1000 || got.max != 999 {
+		t.Fatalf("got %+v, want {1000 999}", got)
+	}
+}
+
+func TestReduceWorkerSlotsAreIsolated(t *testing.T) {
+	// Each body call must see exactly the accumulator its own worker built:
+	// tag accumulators with the worker id and verify it never changes.
+	type tagged struct {
+		worker int
+		n      int64
+	}
+	got := Reduce(10000, 8, 4,
+		func(w, _ int, acc tagged) tagged {
+			if acc.n == 0 {
+				acc.worker = w
+			} else if acc.worker != w {
+				panic("accumulator crossed workers")
+			}
+			acc.n++
+			return acc
+		},
+		func(a, b tagged) tagged { return tagged{n: a.n + b.n} })
+	if got.n != 10000 {
+		t.Fatalf("total %d, want 10000", got.n)
+	}
+}
+
 func TestInlinePanicPropagatesDirectly(t *testing.T) {
 	// workers=1 runs inline: the panic reaches the caller unwrapped, with
 	// the natural stack.

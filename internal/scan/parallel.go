@@ -24,15 +24,17 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 	eng := simeval.New(g, eps, simeval.AllOptimizations)
 	rev := g.ReverseEdgeIndex()
 
-	// Phase 1 (parallel): one σ per undirected edge.
+	// Phase 1 (parallel): one σ per undirected edge, through the per-worker
+	// engines (sharded counters, degree-adaptive kernels).
 	similar := make([]bool, g.NumArcs())
-	par.For(n, threads, 16, func(i int) {
+	par.ForWorker(n, threads, par.Adaptive, func(w, i int) {
+		we := eng.ForWorker(w)
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
 		for e := lo; e < hi; e++ {
-			q, w := g.Arc(e)
+			q, wt := g.Arc(e)
 			if v < q {
-				ok := eng.SimilarEdge(v, q, w)
+				ok := we.SimilarEdge(v, q, wt)
 				similar[e] = ok
 				similar[rev[e]] = ok
 			}
@@ -41,7 +43,7 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 
 	// Phase 2 (parallel): core flags from similar-degree counts.
 	isCore := make([]bool, n)
-	par.For(n, threads, 64, func(i int) {
+	par.For(n, threads, par.Adaptive, func(i int) {
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
 		cnt := 1
@@ -53,12 +55,16 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 		isCore[v] = cnt >= mu
 	})
 
-	// Phase 3 (sequential): label propagation, the part the paper calls
-	// "highly sequential" for SCAN-family algorithms.
-	ds := unionfind.New(n)
-	for v := int32(0); v < int32(n); v++ {
+	// Phase 3 (parallel): label propagation — the part the paper calls
+	// "highly sequential" for SCAN-family algorithms. The lock-free
+	// union-find lets workers merge core-core edges concurrently; the
+	// resulting partition (hence the canonicalized result) is independent of
+	// the union order.
+	ds := unionfind.NewConcurrent(n)
+	par.For(n, threads, par.Adaptive, func(i int) {
+		v := int32(i)
 		if !isCore[v] {
-			continue
+			return
 		}
 		lo, hi := g.NeighborRange(v)
 		for e := lo; e < hi; e++ {
@@ -67,19 +73,22 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 				ds.Union(v, q)
 			}
 		}
-	}
+	})
 	labels := make([]int32, n)
-	for i := range labels {
-		labels[i] = unclassified
-	}
-	for v := int32(0); v < int32(n); v++ {
-		if isCore[v] {
-			labels[v] = ds.Find(v)
+	par.For(n, threads, par.Adaptive, func(i int) {
+		if isCore[i] {
+			labels[i] = ds.Find(int32(i))
+		} else {
+			labels[i] = unclassified
 		}
-	}
-	for v := int32(0); v < int32(n); v++ {
+	})
+	// Border attachment reads only core labels, which the previous barrier
+	// finalized; each border picks its first similar core neighbor in arc
+	// order, so the choice is deterministic.
+	par.For(n, threads, par.Adaptive, func(i int) {
+		v := int32(i)
 		if isCore[v] || labels[v] != unclassified {
-			continue
+			return
 		}
 		lo, hi := g.NeighborRange(v)
 		for e := lo; e < hi; e++ {
@@ -89,7 +98,7 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 				break
 			}
 		}
-	}
+	})
 
 	res := buildResult(g, labels, isCore)
 	m := Metrics{

@@ -80,7 +80,11 @@ func PSCAN(g *graph.CSR, mu int, eps float64) (*cluster.Result, Metrics) {
 		return sd[u] >= int32(mu)
 	}
 
-	ds := unionfind.New(n)
+	// The lock-free structure is driven sequentially here (pSCAN is the
+	// paper's sequential competitor); union-by-min with path halving matches
+	// the rank-based forest's complexity on this workload, and sharing one
+	// structure keeps the merge-phase instrumentation uniform.
+	ds := unionfind.NewConcurrent(n)
 
 	// Phase 1: discover cores in non-increasing degree order and union
 	// adjacent similar cores. An edge whose second endpoint's coreness is

@@ -17,37 +17,116 @@ package simeval
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"anyscan/internal/graph"
 )
 
-// Counters tallies similarity work. All fields are updated atomically so the
-// parallel algorithms can share one Counters value.
-type Counters struct {
-	// Sims is the number of full similarity evaluations (a sort-merge join
-	// was executed, possibly with an early exit). This is the quantity
-	// plotted on the left of Fig. 7.
-	Sims atomic.Int64
-	// Pruned counts O(1) Lemma-5 rejections that avoided a join entirely.
-	Pruned atomic.Int64
-	// EarlyYes / EarlyNo count joins cut short by the running-sum bounds.
-	EarlyYes atomic.Int64
-	EarlyNo  atomic.Int64
-	// Shared counts memoized lookups that avoided recomputation (the
-	// "similarity sharing" evaluations of SCAN++ in Fig. 7).
-	Shared atomic.Int64
+// counterPad separates counter cache lines. 128 bytes covers the spatial
+// prefetcher pulling adjacent lines on current x86 parts.
+const counterPad = 128
+
+// PaddedInt64 is an atomic counter padded out to its own cache-line pair, so
+// two adjacent counters hammered by different cores never cause false
+// sharing. It embeds atomic.Int64, so Add/Load/Store work as usual.
+type PaddedInt64 struct {
+	atomic.Int64
+	_ [counterPad - 8]byte
 }
 
-// Snapshot returns a plain-value copy of the counters.
+// Counters tallies similarity work.
+//
+// Memory-ordering contract: all writes are atomic adds and all reads are
+// atomic loads, so any concurrent Snapshot observes a consistent (if
+// momentarily stale) value per counter without tearing. Counter totals are
+// exact only at quiescent points — after a parallel phase has joined — which
+// is when the anytime machinery (Progress, Metrics, checkpoints) reads them.
+// Each field sits on its own cache-line pair; sequential algorithms update
+// the fields directly, while parallel algorithms route updates through
+// per-worker Shards (see Shard) and pay a single uncontended atomic add.
+type Counters struct {
+	// Sims is the number of full similarity evaluations (a join was
+	// executed, possibly with an early exit). This is the quantity plotted
+	// on the left of Fig. 7.
+	Sims PaddedInt64
+	// Pruned counts O(1) Lemma-5 rejections that avoided a join entirely.
+	Pruned PaddedInt64
+	// EarlyYes / EarlyNo count joins cut short by the running-sum bounds.
+	EarlyYes PaddedInt64
+	EarlyNo  PaddedInt64
+	// Shared counts memoized lookups that avoided recomputation (the
+	// "similarity sharing" evaluations of SCAN++ in Fig. 7).
+	Shared PaddedInt64
+
+	shardMu sync.Mutex
+	shards  atomic.Pointer[[]*Shard]
+}
+
+// Shard is a per-worker slice of Counters. A shard has exactly one writer
+// (its worker), so its adds never contend; fields are still atomic so that a
+// concurrent Snapshot (progress reporting) reads without tearing. The
+// trailing pad keeps distinct shards off each other's cache lines.
+type Shard struct {
+	Sims, Pruned, EarlyYes, EarlyNo, Shared atomic.Int64
+	_                                       [counterPad - 40]byte
+}
+
+// Shard returns worker w's counter shard, creating it on first use. The fast
+// path is a single atomic pointer load; growth takes a mutex but happens at
+// most O(log workers) times per Counters value.
+func (c *Counters) Shard(w int) *Shard {
+	if p := c.shards.Load(); p != nil && w < len(*p) && (*p)[w] != nil {
+		return (*p)[w]
+	}
+	return c.growShard(w)
+}
+
+func (c *Counters) growShard(w int) *Shard {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	var cur []*Shard
+	if p := c.shards.Load(); p != nil {
+		cur = *p
+	}
+	if w < len(cur) && cur[w] != nil {
+		return cur[w]
+	}
+	next := make([]*Shard, len(cur))
+	copy(next, cur)
+	for len(next) <= w {
+		next = append(next, nil)
+	}
+	for i := range next {
+		if next[i] == nil {
+			next[i] = new(Shard)
+		}
+	}
+	c.shards.Store(&next)
+	return next[w]
+}
+
+// Snapshot returns a plain-value copy of the counters, merging every worker
+// shard into the base fields. Exact at quiescent points; see the type comment
+// for the concurrent-read semantics.
 func (c *Counters) Snapshot() CounterValues {
-	return CounterValues{
+	v := CounterValues{
 		Sims:     c.Sims.Load(),
 		Pruned:   c.Pruned.Load(),
 		EarlyYes: c.EarlyYes.Load(),
 		EarlyNo:  c.EarlyNo.Load(),
 		Shared:   c.Shared.Load(),
 	}
+	if p := c.shards.Load(); p != nil {
+		for _, s := range *p {
+			v.Sims += s.Sims.Load()
+			v.Pruned += s.Pruned.Load()
+			v.EarlyYes += s.EarlyYes.Load()
+			v.EarlyNo += s.EarlyNo.Load()
+			v.Shared += s.Shared.Load()
+		}
+	}
+	return v
 }
 
 // CounterValues is a point-in-time copy of Counters.
@@ -70,12 +149,17 @@ type Options struct {
 var AllOptimizations = Options{Lemma5: true, EarlyExit: true}
 
 // Engine evaluates similarities on one graph at one ε. Safe for concurrent
-// use: it is stateless apart from the atomic counters.
+// use: it is stateless apart from the atomic counters. Parallel hot paths
+// should go through ForWorker, which returns a per-worker view with sharded
+// counters and degree-adaptive, allocation-free join kernels.
 type Engine struct {
 	G   *graph.CSR
 	Eps float64
 	Opt Options
 	C   Counters
+
+	weMu sync.Mutex
+	wes  atomic.Pointer[[]*WorkerEngine]
 }
 
 // New returns an Engine for g at threshold eps.
@@ -130,50 +214,13 @@ func (e *Engine) Similar(p, q int32) bool {
 	return e.SimilarEdge(p, q, w)
 }
 
-// joinThreshold runs the merge join with running upper/lower bound exits.
-// The decision value is always computed as selfTerms + (running dot), the
-// exact float expression of the non-early path, so enabling EarlyExit can
-// never flip a boundary decision.
+// joinThreshold runs the merge join with running upper/lower bound exits
+// (shared kernel in worker.go). The decision value is always computed as
+// selfTerms + (running dot), the exact float expression of the non-early
+// path, so enabling EarlyExit can never flip a boundary decision.
 func (e *Engine) joinThreshold(p, q int32, selfTerms, threshold float64) bool {
-	pAdj, pW := e.G.Neighbors(p)
-	qAdj, qW := e.G.Neighbors(q)
-	wp, wq := float64(e.G.MaxWeight(p)), float64(e.G.MaxWeight(q))
-	maxTerm := wp * wq
-	i, j := 0, 0
-	// Upper bound on the remaining numerator contribution.
-	remaining := func() float64 {
-		r := len(pAdj) - i
-		if s := len(qAdj) - j; s < r {
-			r = s
-		}
-		return float64(r) * maxTerm
-	}
-	if selfTerms >= threshold {
-		e.C.EarlyYes.Add(1)
-		return true
-	}
-	dot := 0.0
-	for i < len(pAdj) && j < len(qAdj) {
-		switch {
-		case pAdj[i] < qAdj[j]:
-			i++
-		case pAdj[i] > qAdj[j]:
-			j++
-		default:
-			dot += float64(pW[i]) * float64(qW[j])
-			i++
-			j++
-			if selfTerms+dot >= threshold {
-				e.C.EarlyYes.Add(1)
-				return true
-			}
-		}
-		if selfTerms+dot+remaining() < threshold {
-			e.C.EarlyNo.Add(1)
-			return false
-		}
-	}
-	return selfTerms+dot >= threshold
+	return mergeJoinThreshold(e.G, p, q, selfTerms, threshold,
+		&e.C.EarlyYes.Int64, &e.C.EarlyNo.Int64)
 }
 
 // EdgeNumerator returns the closed-neighborhood numerator for the adjacent
@@ -250,11 +297,21 @@ func (e *Engine) closedDot(p, q int32, _, _ int64) float64 {
 }
 
 // Restore resets the counters to previously snapshotted values (used when
-// resuming a checkpointed run).
+// resuming a checkpointed run). Quiescent-only: it zeroes every worker shard,
+// so it must not race with workers updating them.
 func (c *Counters) Restore(v CounterValues) {
 	c.Sims.Store(v.Sims)
 	c.Pruned.Store(v.Pruned)
 	c.EarlyYes.Store(v.EarlyYes)
 	c.EarlyNo.Store(v.EarlyNo)
 	c.Shared.Store(v.Shared)
+	if p := c.shards.Load(); p != nil {
+		for _, s := range *p {
+			s.Sims.Store(0)
+			s.Pruned.Store(0)
+			s.EarlyYes.Store(0)
+			s.EarlyNo.Store(0)
+			s.Shared.Store(0)
+		}
+	}
 }
