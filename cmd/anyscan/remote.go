@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"anyscan/internal/server"
@@ -49,7 +52,16 @@ func remoteMain(args []string) {
 	withAssignments := fs.Bool("assignments", false, "include per-vertex labels and roles")
 	wait := fs.Bool("wait", false, "submit: poll until the job finishes")
 	waitTimeout := fs.Duration("wait-timeout", 10*time.Minute, "timeout for -wait")
+	callTimeout := fs.Duration("timeout", time.Minute, "overall deadline per request (retries included)")
 	fs.Parse(args)
+
+	// Every call is bounded by -timeout and aborts cleanly on Ctrl-C; the
+	// context reaches the server, which cancels any in-flight work it started
+	// for us.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *callTimeout)
+	defer cancel()
 
 	c := server.NewClient(strings.TrimRight(*addr, "/"))
 	needJob := func() string {
@@ -69,40 +81,42 @@ func remoteMain(args []string) {
 	var err error
 	switch verb {
 	case "load":
-		out, err = c.LoadGraph(server.LoadGraphRequest{
+		out, err = c.LoadGraph(ctx, server.LoadGraphRequest{
 			Name:        *name,
 			GraphSource: server.GraphSource{Path: *path, Dataset: *dataset, Scale: *scale},
 		})
 	case "graphs":
-		out, err = c.ListGraphs()
+		out, err = c.ListGraphs(ctx)
 	case "evict":
 		if *name == "" {
 			fatal(fmt.Errorf("remote evict needs -name NAME"))
 		}
-		err = c.EvictGraph(*name)
+		err = c.EvictGraph(ctx, *name)
 		out = map[string]string{"evicted": *name}
 	case "submit":
 		spec := server.JobSpec{Graph: needGraph(), Mu: *mu, Eps: *eps, Threads: *threads, Seed: *seed}
 		var st server.JobStatus
-		st, err = c.SubmitJob(spec)
+		st, err = c.SubmitJob(ctx, spec)
 		out = st
 		if err == nil && *wait {
-			out, err = c.WaitJob(st.ID, *waitTimeout)
+			waitCtx, cancelWait := context.WithTimeout(ctx, *waitTimeout)
+			out, err = c.WaitJob(waitCtx, st.ID)
+			cancelWait()
 		}
 	case "jobs":
-		out, err = c.ListJobs()
+		out, err = c.ListJobs(ctx)
 	case "status":
-		out, err = c.JobStatus(needJob())
+		out, err = c.JobStatus(ctx, needJob())
 	case "snapshot":
-		out, err = c.JobSnapshot(needJob(), *withAssignments)
+		out, err = c.JobSnapshot(ctx, needJob(), *withAssignments)
 	case "result":
-		out, err = c.JobResult(needJob(), *withAssignments)
+		out, err = c.JobResult(ctx, needJob(), *withAssignments)
 	case "pause":
-		out, err = c.PauseJob(needJob())
+		out, err = c.PauseJob(ctx, needJob())
 	case "resume":
-		out, err = c.ResumeJob(needJob())
+		out, err = c.ResumeJob(ctx, needJob())
 	case "cancel":
-		out, err = c.CancelJob(needJob())
+		out, err = c.CancelJob(ctx, needJob())
 	case "query":
 		// -eps-list (or no ε at all) asks for a profile; a single -eps asks
 		// for the exact clustering at (μ, ε).
@@ -114,20 +128,20 @@ func remoteMain(args []string) {
 		})
 		switch {
 		case *epsList != "":
-			out, err = c.QueryProfile(needGraph(), *mu, parseEpsList(*epsList), *limit)
+			out, err = c.QueryProfile(ctx, needGraph(), *mu, parseEpsList(*epsList), *limit)
 		case epsSet:
-			out, err = c.Query(needGraph(), *mu, *eps, *withAssignments)
+			out, err = c.Query(ctx, needGraph(), *mu, *eps, *withAssignments)
 		default:
-			out, err = c.QueryProfile(needGraph(), *mu, nil, *limit)
+			out, err = c.QueryProfile(ctx, needGraph(), *mu, nil, *limit)
 		}
 	case "cluster": // deprecated alias of "query" with a single ε
-		out, err = c.Cluster(needGraph(), *mu, *eps, *withAssignments)
+		out, err = c.Cluster(ctx, needGraph(), *mu, *eps, *withAssignments)
 	case "sweep": // deprecated alias of "query" with an ε list
 		var epsValues []float64
 		if *epsList != "" {
 			epsValues = parseEpsList(*epsList)
 		}
-		out, err = c.Sweep(needGraph(), *mu, epsValues)
+		out, err = c.Sweep(ctx, needGraph(), *mu, epsValues)
 	default:
 		fatal(fmt.Errorf("unknown remote verb %q", verb))
 	}

@@ -44,6 +44,14 @@ func main() {
 	indexThreads := flag.Int("index-threads", 0, "workers for query-index construction (0 = GOMAXPROCS)")
 	flag.IntVar(indexThreads, "explorer-threads", 0, "deprecated alias of -index-threads")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to park on shutdown")
+	buildSlots := flag.Int("build-slots", 0, "concurrent index builds admitted (0 = default 2)")
+	admissionQueue := flag.Int("admission-queue", 0, "bounded admission wait queue depth (0 = default 16, negative = shed immediately at saturation)")
+	admissionWait := flag.Duration("admission-wait", 0, "max time a request waits in the admission queue before being shed (0 = default 2s)")
+	queryTimeout := flag.Duration("query-timeout", 0, "default deadline on index-building routes (0 = default 60s, negative = none)")
+	requestTimeout := flag.Duration("request-timeout", 0, "default deadline on all other routes (0 = default 15s, negative = none)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client rate-limit burst (0 = 2x rate)")
+	indexBudgetMB := flag.Int64("index-memory-budget-mb", 0, "resident query-index memory budget in MiB; LRU-evicted above it (0 = unlimited)")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "graph to load at startup: PATH, name=NAME:PATH, or dataset:NAME (repeatable)")
 	flag.Parse()
@@ -57,7 +65,17 @@ func main() {
 			Logger:               log,
 		},
 		IndexThreads: *indexThreads,
-		Logger:       log,
+		Overload: server.OverloadConfig{
+			BuildSlots:        *buildSlots,
+			QueueDepth:        *admissionQueue,
+			QueueWait:         *admissionWait,
+			QueryTimeout:      *queryTimeout,
+			RequestTimeout:    *requestTimeout,
+			RatePerSec:        *rateLimit,
+			RateBurst:         *rateBurst,
+			IndexMemoryBudget: *indexBudgetMB << 20,
+		},
+		Logger: log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anyscand:", err)
@@ -78,7 +96,10 @@ func main() {
 		log.Info("graph preloaded", "name", e.Name, "vertices", e.G.NumVertices(), "edges", e.G.NumEdges())
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// ReadHeaderTimeout bounds slow-loris header dribbling before a handler is
+	// even picked; per-route body/write deadlines are set by the server's
+	// deadline middleware.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Info("anyscand listening", "addr", *addr, "checkpoint_dir", *ckptDir, "workers", *workers)

@@ -145,7 +145,8 @@ var (
 )
 
 type point struct {
-	remaining int // hits left before the fault fires
+	remaining int  // hits left before the fault fires
+	sustained bool // fire on every hit from the scheduled one onward
 	err       error
 	hits      int
 }
@@ -166,6 +167,25 @@ func Arm(name string, n int, err error) {
 		points = make(map[string]*point)
 	}
 	points[name] = &point{remaining: n, err: err}
+	armed.Store(true)
+}
+
+// ArmAlways schedules the named fault point to fail on every future hit until
+// Disarm or Reset, with the given error (nil → ErrInjected). Unlike Arm the
+// point does not disarm itself after firing, which models a sustained outage
+// (a dependency that stays down) rather than a one-shot crash: chaos tests
+// arm it, drive traffic that must degrade gracefully the whole time, then
+// disarm and assert recovery.
+func ArmAlways(name string, err error) {
+	if err == nil {
+		err = fmt.Errorf("%w at %q", ErrInjected, name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	points[name] = &point{remaining: 1, sustained: true, err: err}
 	armed.Store(true)
 }
 
@@ -200,12 +220,16 @@ func Hit(name string) error {
 		return nil
 	}
 	p.hits++
-	p.remaining--
+	if p.remaining > 0 {
+		p.remaining--
+	}
 	if p.remaining > 0 {
 		return nil
 	}
-	delete(points, name)
-	armed.Store(len(points) > 0)
+	if !p.sustained {
+		delete(points, name)
+		armed.Store(len(points) > 0)
+	}
 	return p.err
 }
 

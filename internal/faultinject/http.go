@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPChaos is an injectable HTTP middleware for chaos testing a service
+// front door. Faults are configured at runtime (typically by a test, before
+// or while traffic flows) and applied deterministically — "every nth
+// request" counters rather than probabilities — so failing runs reproduce:
+//
+//   - added latency before the handler runs (a slow dependency),
+//   - synthetic 5xx responses (a crashed backend),
+//   - abrupt connection resets (a flaky LB or killed pod),
+//   - slow-loris request bodies (a byte-at-a-time client), throttling every
+//     body read so handlers that trust the client to be prompt hang unless
+//     they bound reads with a deadline.
+//
+// The zero value injects nothing and adds one atomic load per request, so a
+// HTTPChaos can stay wired into a server across its whole test suite.
+type HTTPChaos struct {
+	active atomic.Bool // fast path: no faults configured
+
+	latency      atomic.Int64 // nanoseconds added before the handler
+	latencyEvery atomic.Int64 // apply latency to every nth request (0 = off)
+	latencyN     atomic.Int64
+
+	errCode  atomic.Int64 // status code for synthetic failures (0 = off)
+	errEvery atomic.Int64
+	errN     atomic.Int64
+
+	resetEvery atomic.Int64 // abruptly close every nth connection (0 = off)
+	resetN     atomic.Int64
+
+	bodyDelay atomic.Int64 // nanoseconds per request-body read (0 = off)
+
+	// Injected counts each fault actually fired, so tests can assert the
+	// chaos really happened (a passing test with zero injected faults proves
+	// nothing).
+	Injected atomic.Int64
+}
+
+// InjectLatency delays every nth request by d before it reaches the handler
+// (every = 1 delays all requests). The sleep aborts early when the request
+// context is cancelled.
+func (c *HTTPChaos) InjectLatency(d time.Duration, every int) {
+	c.latency.Store(int64(d))
+	c.latencyEvery.Store(int64(every))
+	c.active.Store(true)
+}
+
+// InjectErrors answers every nth request with the given status code and a
+// short plain-text body, without invoking the handler.
+func (c *HTTPChaos) InjectErrors(code, every int) {
+	c.errCode.Store(int64(code))
+	c.errEvery.Store(int64(every))
+	c.active.Store(true)
+}
+
+// InjectResets abruptly closes every nth request's underlying connection
+// (SO_LINGER 0 when the transport allows it, so the peer observes a reset
+// rather than a graceful close).
+func (c *HTTPChaos) InjectResets(every int) {
+	c.resetEvery.Store(int64(every))
+	c.active.Store(true)
+}
+
+// InjectSlowBody throttles request-body reads: each Read sleeps d first,
+// modeling a slow-loris client trickling its payload. Handlers bounded by a
+// read/context deadline fail fast; unbounded ones hang — which is exactly
+// what the chaos suite wants to detect.
+func (c *HTTPChaos) InjectSlowBody(d time.Duration) {
+	c.bodyDelay.Store(int64(d))
+	c.active.Store(true)
+}
+
+// Clear removes every configured fault (injected counts are retained).
+func (c *HTTPChaos) Clear() {
+	c.latency.Store(0)
+	c.latencyEvery.Store(0)
+	c.errCode.Store(0)
+	c.errEvery.Store(0)
+	c.resetEvery.Store(0)
+	c.bodyDelay.Store(0)
+	c.active.Store(false)
+}
+
+// nth returns true on every everyth increment of n (every <= 0 never fires).
+func nth(n, every *atomic.Int64) bool {
+	e := every.Load()
+	if e <= 0 {
+		return false
+	}
+	return n.Add(1)%e == 0
+}
+
+// Middleware wraps next with the configured faults. It is safe to install
+// permanently: with no faults configured requests pass straight through.
+func (c *HTTPChaos) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !c.active.Load() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if nth(&c.resetN, &c.resetEvery) {
+			c.Injected.Add(1)
+			abortConnection(w)
+			return
+		}
+		if code := c.errCode.Load(); code != 0 && nth(&c.errN, &c.errEvery) {
+			c.Injected.Add(1)
+			http.Error(w, "faultinject: synthetic failure", int(code))
+			return
+		}
+		if d := time.Duration(c.latency.Load()); d > 0 && nth(&c.latencyN, &c.latencyEvery) {
+			c.Injected.Add(1)
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+			}
+		}
+		if d := time.Duration(c.bodyDelay.Load()); d > 0 && r.Body != nil {
+			c.Injected.Add(1)
+			r.Body = &slowBody{rc: r.Body, delay: d, ctx: r.Context()}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// abortConnection hijacks the response's connection and closes it without a
+// response. SetLinger(0) turns the close into a TCP RST so clients observe a
+// reset instead of an empty reply.
+func abortConnection(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No hijack support (e.g. HTTP/2): the closest available fault is
+		// dropping the request on the floor with a bare 5xx.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// slowBody throttles each Read of a request body by delay, aborting promptly
+// when the request context is done so a deadline-bounded handler escapes.
+type slowBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+	ctx   context.Context
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	select {
+	case <-time.After(b.delay):
+	case <-b.ctx.Done():
+		return 0, b.ctx.Err()
+	}
+	// Trickle: cap each read at a few bytes so large payloads take many
+	// delayed round trips, like a real slow-loris peer.
+	if len(p) > 16 {
+		p = p[:16]
+	}
+	return b.rc.Read(p)
+}
+
+func (b *slowBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	})
+}
+
+func TestHTTPChaosPassthrough(t *testing.T) {
+	var chaos HTTPChaos
+	ts := httptest.NewServer(chaos.Middleware(okHandler()))
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("zero-value chaos altered a request: %d", resp.StatusCode)
+		}
+	}
+	if chaos.Injected.Load() != 0 {
+		t.Fatal("zero-value chaos injected faults")
+	}
+}
+
+func TestHTTPChaosErrorsEveryNth(t *testing.T) {
+	var chaos HTTPChaos
+	ts := httptest.NewServer(chaos.Middleware(okHandler()))
+	defer ts.Close()
+	chaos.InjectErrors(http.StatusServiceUnavailable, 2)
+
+	var codes []int
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	var injected int
+	for i, code := range codes {
+		want := http.StatusOK
+		if (i+1)%2 == 0 {
+			want = http.StatusServiceUnavailable
+		}
+		if code != want {
+			t.Fatalf("request %d: status %d, want %d (deterministic every-2nd)", i, code, want)
+		}
+		if code != http.StatusOK {
+			injected++
+		}
+	}
+	if got := chaos.Injected.Load(); got != int64(injected) {
+		t.Fatalf("Injected = %d, want %d", got, injected)
+	}
+
+	chaos.Clear()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("Clear did not stop error injection")
+	}
+}
+
+func TestHTTPChaosLatency(t *testing.T) {
+	var chaos HTTPChaos
+	ts := httptest.NewServer(chaos.Middleware(okHandler()))
+	defer ts.Close()
+	const delay = 50 * time.Millisecond
+	chaos.InjectLatency(delay, 1)
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("request finished in %v despite %v injected latency", elapsed, delay)
+	}
+	if chaos.Injected.Load() == 0 {
+		t.Fatal("latency fault did not count as injected")
+	}
+}
+
+func TestHTTPChaosLatencyAbortsOnCancel(t *testing.T) {
+	var chaos HTTPChaos
+	ts := httptest.NewServer(chaos.Middleware(okHandler()))
+	defer ts.Close()
+	chaos.InjectLatency(30*time.Second, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled request held the connection %v; the injected sleep ignores ctx", elapsed)
+	}
+}
+
+func TestHTTPChaosResets(t *testing.T) {
+	var chaos HTTPChaos
+	ts := httptest.NewServer(chaos.Middleware(okHandler()))
+	defer ts.Close()
+	chaos.InjectResets(1)
+
+	if _, err := http.Get(ts.URL); err == nil {
+		t.Fatal("request on a reset connection succeeded")
+	}
+	chaos.Clear()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("request after Clear: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPChaosSlowBody(t *testing.T) {
+	bodyLen := 0
+	var chaos HTTPChaos
+	ts := httptest.NewServer(chaos.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		bodyLen = len(data)
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer ts.Close()
+	chaos.InjectSlowBody(time.Millisecond)
+
+	payload := strings.Repeat("x", 160) // ≥ 10 throttled 16-byte reads
+	start := time.Now()
+	resp, err := http.Post(ts.URL, "text/plain", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("slow-body request failed: %d", resp.StatusCode)
+	}
+	if bodyLen != len(payload) {
+		t.Fatalf("handler read %d bytes of %d; throttling corrupted the body", bodyLen, len(payload))
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("160-byte body at 1ms per 16-byte read arrived in %v", elapsed)
+	}
+}

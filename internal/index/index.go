@@ -25,6 +25,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -82,6 +83,17 @@ type coreOrder struct {
 // plus an O(|E| log d_max) sort, both parallelized; this is the only σ pass
 // the index will ever perform.
 func Build(g *graph.CSR, threads int) *Index {
+	x, _ := BuildCtx(context.Background(), g, threads)
+	return x
+}
+
+// BuildCtx is Build with cooperative cancellation: the σ pass and the
+// neighbor-order sort poll ctx between chunks, so an expensive build whose
+// every requester has gone away (an abandoned single-flight build in a
+// serving cache, a shut-down daemon) stops burning cores within one chunk
+// instead of running to completion. On cancellation BuildCtx returns
+// ctx.Err() and no Index — a partially evaluated σ slice is never exposed.
+func BuildCtx(ctx context.Context, g *graph.CSR, threads int) (*Index, error) {
 	start := time.Now()
 	n := g.NumVertices()
 	eng := simeval.New(g, 0, simeval.Options{}) // exact values: no pruning
@@ -91,7 +103,7 @@ func Build(g *graph.CSR, threads int) *Index {
 	// join kernels, private scratch) and counts its evaluations in the
 	// reduction accumulator, so the hot loop touches no shared cache line.
 	sigma := make([]float64, g.NumArcs())
-	evals := par.Reduce(n, threads, par.Adaptive, func(w, i int, acc int64) int64 {
+	evals, err := par.ReduceCtx(ctx, n, threads, par.Adaptive, func(w, i int, acc int64) int64 {
 		we := eng.ForWorker(w)
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
@@ -107,6 +119,9 @@ func Build(g *graph.CSR, threads int) *Index {
 		}
 		return acc
 	}, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, err
+	}
 
 	x := &Index{
 		g:        g,
@@ -115,17 +130,25 @@ func Build(g *graph.CSR, threads int) *Index {
 		threads:  threads,
 		orders:   map[int]*coreOrder{},
 	}
-	x.sortNeighbors(threads)
+	if err := x.sortNeighborsCtx(ctx, threads); err != nil {
+		return nil, err
+	}
 	x.buildTau = time.Since(start)
-	return x
+	return x, nil
 }
 
 // sortNeighbors derives nbr/nbrSig from the arc-order sigma slice.
 func (x *Index) sortNeighbors(threads int) {
+	x.sortNeighborsCtx(nil, threads)
+}
+
+// sortNeighborsCtx is sortNeighbors with cooperative cancellation (nil ctx
+// disables polling and never errors).
+func (x *Index) sortNeighborsCtx(ctx context.Context, threads int) error {
 	g := x.g
 	x.nbr = make([]int32, g.NumArcs())
 	x.nbrSig = make([]float64, g.NumArcs())
-	par.For(g.NumVertices(), threads, 32, func(i int) {
+	return par.ForCtx(ctx, g.NumVertices(), threads, 32, func(i int) {
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
 		deg := int(hi - lo)
@@ -160,6 +183,20 @@ func (x *Index) SimEvals() int64 { return x.simEvals }
 // BuildTime returns the wall time Build took (0 for an index restored by
 // Load).
 func (x *Index) BuildTime() time.Duration { return x.buildTau }
+
+// Bytes returns the approximate resident size of the index's own storage
+// (σ thresholds, sorted neighbor orders, memoized core orders) — the graph
+// itself is owned by the caller and not counted. Serving caches use this to
+// enforce a memory budget with LRU eviction.
+func (x *Index) Bytes() int64 {
+	b := int64(len(x.sigma))*8 + int64(len(x.nbr))*4 + int64(len(x.nbrSig))*8
+	x.mu.Lock()
+	for _, co := range x.orders {
+		b += int64(len(co.verts))*4 + int64(len(co.thr))*8
+	}
+	x.mu.Unlock()
+	return b
+}
 
 // Sigma returns the activation threshold of arc e (the largest ε at which
 // the arc's endpoints are similar). Arcs are in CSR order, mirrors agree.

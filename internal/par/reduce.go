@@ -1,6 +1,9 @@
 package par
 
-import "unsafe"
+import (
+	"context"
+	"unsafe"
+)
 
 // accPadBytes separates per-worker accumulator slots so that two workers
 // folding into adjacent slots never share a cache line (128 bytes covers the
@@ -24,9 +27,20 @@ const accPadBytes = 128
 // GOMAXPROCS, workers == 1 runs inline, grain <= 0 selects the adaptive
 // chunk size of Grain.
 func Reduce[T any](n, workers, grain int, body func(worker, i int, acc T) T, merge func(a, b T) T) T {
+	out, _ := ReduceCtx(nil, n, workers, grain, body, merge)
+	return out
+}
+
+// ReduceCtx is Reduce with the cooperative cancellation of ForCtx: between
+// chunks each worker polls ctx and stops claiming new work once it is done.
+// When the loop is cut short ReduceCtx returns the zero value of T and
+// ctx.Err() — partial reductions are never exposed, because a caller cannot
+// tell which indices contributed. A nil ctx disables polling (and ReduceCtx
+// then never errors).
+func ReduceCtx[T any](ctx context.Context, n, workers, grain int, body func(worker, i int, acc T) T, merge func(a, b T) T) (T, error) {
 	var zero T
 	if n <= 0 {
-		return zero
+		return zero, nil
 	}
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -38,12 +52,14 @@ func Reduce[T any](n, workers, grain int, body func(worker, i int, acc T) T, mer
 		stride = int(accPadBytes/sz) + 1
 	}
 	accs := make([]T, workers*stride)
-	ForWorker(n, workers, grain, func(w, i int) {
+	if err := ForWorkerCtx(ctx, n, workers, grain, func(w, i int) {
 		accs[w*stride] = body(w, i, accs[w*stride])
-	})
+	}); err != nil {
+		return zero, err
+	}
 	out := accs[0]
 	for w := 1; w < workers; w++ {
 		out = merge(out, accs[w*stride])
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements the front-door overload machinery: a weighted
+// semaphore with a bounded FIFO wait queue for heavy work (index builds,
+// assignment-carrying queries), per-client token-bucket rate limits, and the
+// typed error the HTTP layer turns into fast-fail 429/503 + Retry-After
+// responses. The design goal is bounded latency under overload: a request
+// either gets capacity promptly, waits a short bounded time in a short
+// bounded queue, or is shed immediately — it never queues unboundedly.
+
+// OverloadError is returned when a request is refused for capacity reasons.
+// The HTTP layer maps it to Code and sets Retry-After from RetryAfter.
+type OverloadError struct {
+	Code       int           // HTTP status to answer with (429 or 503)
+	RetryAfter time.Duration // client backoff hint
+	Reason     string        // "queue-full", "queue-timeout", "rate-limit"
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("overloaded (%s); retry after %v", e.Reason, e.RetryAfter)
+}
+
+// errShedQueueFull is returned without waiting when the admission queue is
+// already at capacity: under saturation the cheapest thing the server can do
+// is say no immediately.
+func errShedQueueFull() *OverloadError {
+	return &OverloadError{Code: 503, RetryAfter: time.Second, Reason: "queue-full"}
+}
+
+// Admission weights. A build pays for an entire Θ(|E|) σ pass; an
+// assignment-carrying query only serializes and walks an existing index, so
+// several ride alongside one build without starving it.
+const (
+	buildWeight = 4
+	queryWeight = 1
+)
+
+// semaphore is a context-aware weighted semaphore with a bounded FIFO wait
+// queue. Acquire either succeeds immediately, waits in the queue until
+// capacity frees or ctx expires, or fails fast with an OverloadError when the
+// queue is full. Waiters are granted strictly in arrival order so a heavy
+// waiter cannot be starved by a stream of light ones.
+type semaphore struct {
+	mu       sync.Mutex
+	capacity int64
+	held     int64
+	queue    []*semWaiter
+	maxQueue int
+}
+
+type semWaiter struct {
+	weight int64
+	ready  chan struct{} // closed when granted
+}
+
+func newSemaphore(capacity int64, maxQueue int) *semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &semaphore{capacity: capacity, maxQueue: maxQueue}
+}
+
+// Acquire obtains weight units of capacity (clamped to the semaphore's total
+// so one huge request cannot deadlock itself). On success the caller must
+// Release the same weight.
+func (s *semaphore) Acquire(ctx context.Context, weight int64) error {
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	s.mu.Lock()
+	if s.held+weight <= s.capacity && len(s.queue) == 0 {
+		s.held += weight
+		s.mu.Unlock()
+		return nil
+	}
+	if len(s.queue) >= s.maxQueue {
+		s.mu.Unlock()
+		return errShedQueueFull()
+	}
+	w := &semWaiter{weight: weight, ready: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the cancellation: keep the grant;
+			// the caller sees success and releases normally.
+			s.mu.Unlock()
+			return nil
+		default:
+		}
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns weight units and grants queued waiters in FIFO order.
+func (s *semaphore) Release(weight int64) {
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	s.mu.Lock()
+	s.held -= weight
+	if s.held < 0 {
+		s.held = 0
+	}
+	for len(s.queue) > 0 && s.held+s.queue[0].weight <= s.capacity {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.held += w.weight
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+
+// QueueLen returns the number of requests currently waiting.
+func (s *semaphore) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Saturated reports whether the wait queue is at capacity — the readiness
+// probe uses this to steer load balancers away before requests are shed.
+func (s *semaphore) Saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) >= s.maxQueue
+}
+
+// admission wraps the semaphore with a bounded wait and the server metrics.
+type admission struct {
+	sem     *semaphore
+	maxWait time.Duration
+	met     *Metrics
+}
+
+func newAdmission(buildSlots, queueDepth int, maxWait time.Duration, met *Metrics) *admission {
+	if buildSlots < 1 {
+		buildSlots = 1
+	}
+	return &admission{
+		sem:     newSemaphore(int64(buildSlots)*buildWeight, queueDepth),
+		maxWait: maxWait,
+		met:     met,
+	}
+}
+
+// acquire obtains weight units, waiting at most maxWait (and no longer than
+// the request's own deadline). It returns the release func on success and an
+// OverloadError (queue full / queue timeout) or the ctx error otherwise.
+func (a *admission) acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if a.maxWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.maxWait)
+		defer cancel()
+	}
+	queuedAt := time.Now()
+	if err := a.sem.Acquire(ctx, weight); err != nil {
+		a.met.AdmissionShed.Add(1)
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			return nil, err
+		}
+		// The bounded wait expired (or the request deadline did): shed with
+		// a hint proportional to how long we already waited.
+		return nil, &OverloadError{Code: 503, RetryAfter: time.Second, Reason: "queue-timeout"}
+	}
+	if time.Since(queuedAt) > time.Millisecond {
+		a.met.AdmissionQueued.Add(1)
+	}
+	a.met.AdmissionAdmitted.Add(1)
+	return func() { a.sem.Release(weight) }, nil
+}
+
+func (a *admission) acquireBuild(ctx context.Context) (func(), error) {
+	return a.acquire(ctx, buildWeight)
+}
+
+func (a *admission) acquireQuery(ctx context.Context) (func(), error) {
+	return a.acquire(ctx, queryWeight)
+}
+
+// --- per-client rate limiting ---------------------------------------------
+
+// rateLimiter is a per-client token bucket: each client key (remote host)
+// accrues rate tokens per second up to burst, and each request spends one.
+// Stale buckets are garbage-collected opportunistically so the map stays
+// bounded under client churn.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil // unlimited
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+// Allow spends one token from key's bucket, reporting whether the request is
+// admitted and, when it is not, how long until a token accrues.
+func (l *rateLimiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[key]
+	if !found {
+		if len(l.buckets) >= 4096 {
+			l.gcLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After has 1s resolution; round up
+	}
+	return false, wait
+}
+
+// gcLocked drops buckets idle long enough to have refilled completely — an
+// absent bucket and a full one are indistinguishable to Allow.
+func (l *rateLimiter) gcLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}

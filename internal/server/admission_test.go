@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// acquireDone runs Acquire on a goroutine and returns a channel carrying its
+// result, so tests can assert both grants and the absence of grants.
+func acquireDone(s *semaphore, ctx context.Context, weight int64) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- s.Acquire(ctx, weight) }()
+	return ch
+}
+
+func mustGrant(t *testing.T, ch <-chan error) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("acquire failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire did not complete")
+	}
+}
+
+func mustStillWait(t *testing.T, ch <-chan error) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		t.Fatalf("acquire returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSemaphoreImmediateAndWeights(t *testing.T) {
+	s := newSemaphore(4, 8)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Full: the next acquire must wait.
+	ch := acquireDone(s, ctx, 1)
+	mustStillWait(t, ch)
+	s.Release(1)
+	mustGrant(t, ch)
+	s.Release(3)
+	s.Release(1)
+
+	// A weight beyond capacity is clamped instead of deadlocking forever.
+	if err := s.Acquire(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(100)
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	s := newSemaphore(2, 8)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Queue a heavy waiter first, then a light one. FIFO means the light one
+	// must NOT jump the queue even though it would fit sooner.
+	heavy := acquireDone(s, ctx, 2)
+	mustStillWait(t, heavy) // ensure the heavy waiter is enqueued first
+	light := acquireDone(s, ctx, 1)
+	mustStillWait(t, light)
+
+	s.Release(1) // one unit free: enough for light, not for heavy
+	mustStillWait(t, heavy)
+	mustStillWait(t, light)
+	s.Release(1) // now the heavy head is granted
+	mustGrant(t, heavy)
+	mustStillWait(t, light)
+	s.Release(2)
+	mustGrant(t, light)
+}
+
+func TestSemaphoreQueueFullSheds(t *testing.T) {
+	s := newSemaphore(1, 1)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	queued := acquireDone(s, ctx, 1)
+	mustStillWait(t, queued)
+	if !s.Saturated() {
+		t.Fatal("queue holds maxQueue waiters but Saturated() = false")
+	}
+
+	err := s.Acquire(ctx, 1)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue-full" {
+		t.Fatalf("acquire on a full queue = %v, want queue-full OverloadError", err)
+	}
+	if oe.Code != 503 || oe.RetryAfter <= 0 {
+		t.Fatalf("shed error carries code=%d retryAfter=%v", oe.Code, oe.RetryAfter)
+	}
+	s.Release(1)
+	mustGrant(t, queued)
+	s.Release(1)
+}
+
+func TestSemaphoreCtxCancelDequeues(t *testing.T) {
+	s := newSemaphore(1, 4)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := acquireDone(s, ctx, 1)
+	mustStillWait(t, ch)
+	cancel()
+	select {
+	case err := <-ch:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled acquire = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled acquire did not return")
+	}
+	if n := s.QueueLen(); n != 0 {
+		t.Fatalf("cancelled waiter left the queue at %d", n)
+	}
+	// Capacity is intact: release then reacquire immediately.
+	s.Release(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+}
+
+func TestAdmissionQueueTimeoutSheds(t *testing.T) {
+	met := &Metrics{}
+	a := newAdmission(1, 4, 10*time.Millisecond, met)
+	release, err := a.acquireBuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = a.acquireBuild(context.Background())
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue-timeout" {
+		t.Fatalf("bounded wait expiry = %v, want queue-timeout OverloadError", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("shed after %v; the bounded wait is not bounded", waited)
+	}
+	if met.AdmissionShed.Load() != 1 || met.AdmissionAdmitted.Load() != 1 {
+		t.Fatalf("metrics: shed=%d admitted=%d", met.AdmissionShed.Load(), met.AdmissionAdmitted.Load())
+	}
+	release()
+	// After the holder releases, admission recovers.
+	release2, err := a.acquireBuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+}
+
+func TestRateLimiter(t *testing.T) {
+	l := newRateLimiter(1, 2) // 1 req/s, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", now); !ok {
+			t.Fatalf("request %d within burst was limited", i)
+		}
+	}
+	ok, retryAfter := l.Allow("a", now)
+	if ok {
+		t.Fatal("request beyond burst was admitted")
+	}
+	if retryAfter < time.Second {
+		t.Fatalf("Retry-After hint %v below header resolution", retryAfter)
+	}
+	// Another client has its own bucket.
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("second client throttled by the first's bucket")
+	}
+	// Tokens accrue with time.
+	if ok, _ := l.Allow("a", now.Add(1500*time.Millisecond)); !ok {
+		t.Fatal("token did not accrue after refill interval")
+	}
+	if newRateLimiter(0, 0) != nil {
+		t.Fatal("rate 0 should disable limiting")
+	}
+}
+
+func TestRateLimiterGC(t *testing.T) {
+	l := newRateLimiter(10, 10)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 4096; i++ {
+		l.Allow(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune(i)), now)
+	}
+	// All existing buckets are idle past a full refill at now+10s: inserting
+	// one more key triggers GC and the map collapses.
+	l.Allow("fresh", now.Add(10*time.Second))
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("GC left %d buckets, want the fresh one (plus at most one straggler)", n)
+	}
+}
+
+func TestCircuitBreaker(t *testing.T) {
+	var b circuitBreaker
+	now := time.Unix(2000, 0)
+	for i := 0; i < breakerThreshold; i++ {
+		if !b.allow(now) {
+			t.Fatalf("breaker opened after %d failures, threshold is %d", i, breakerThreshold)
+		}
+		b.record(now, true)
+	}
+	if b.allow(now) {
+		t.Fatal("breaker still closed at the failure threshold")
+	}
+	// After the cooldown exactly one half-open probe goes through.
+	later := now.Add(breakerCooldown + time.Second)
+	if !b.allow(later) {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	if b.allow(later) {
+		t.Fatal("second concurrent probe admitted while half-open")
+	}
+	// A failed probe re-opens; a successful one closes.
+	b.record(later, true)
+	if b.allow(later.Add(time.Second)) {
+		t.Fatal("breaker closed again right after a failed probe")
+	}
+	later2 := later.Add(breakerCooldown + 2*time.Second)
+	if !b.allow(later2) {
+		t.Fatal("no probe after the second cooldown")
+	}
+	b.record(later2, false)
+	if !b.allow(later2) {
+		t.Fatal("breaker still open after a successful probe")
+	}
+}

@@ -213,8 +213,13 @@ type QueryResponse struct {
 	Mu       int     `json:"mu"`
 	Eps      float64 `json:"eps,omitempty"` // single-ε form only
 	CacheHit bool    `json:"cache_hit"`
-	BuildMS  float64 `json:"build_ms,omitempty"` // index build time (cache miss only)
-	QueryMS  float64 `json:"query_ms"`
+	// Stale marks a degraded-mode answer: the fresh index build failed or
+	// was shed, so the response was served from the last good index (which
+	// may describe an older generation of the graph). The response also
+	// carries an X-Anyscan-Stale: 1 header.
+	Stale   bool    `json:"stale,omitempty"`
+	BuildMS float64 `json:"build_ms,omitempty"` // index build time (cache miss only)
+	QueryMS float64 `json:"query_ms"`
 	ClusteringPayload
 	Points []SweepPoint `json:"points,omitempty"` // profile form only
 }

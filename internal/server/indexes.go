@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"anyscan/internal/faultinject"
 	"anyscan/internal/graph"
 	"anyscan/internal/index"
 	"anyscan/internal/sweep"
@@ -12,20 +15,42 @@ import (
 // indexEntry is one per-graph cached query index plus the μ-fixed sweep
 // explorers lazily derived from it (for profile queries over many ε).
 type indexEntry struct {
+	name    string
+	g       *graph.CSR    // the graph generation the index answers for
 	ready   chan struct{} // closed when idx/err are set
 	idx     *index.Index
 	err     error
 	buildMS float64
-	g       *graph.CSR // the graph the index was built on (staleness check)
+
+	// waiters counts the requests currently blocked on this entry's build.
+	// When the last one abandons (its deadline expired, its client hung up)
+	// the build context is cancelled: nobody is left to consume the result,
+	// so the σ pass stops burning cores within one chunk.
+	waiters     atomic.Int64
+	cancelBuild context.CancelFunc
+
+	lastUsed atomic.Int64 // UnixNano of the most recent get (LRU ordering)
 
 	mu        sync.Mutex
 	explorers map[int]*explorerEntry // μ → derived explorer (no σ pass)
 }
 
+func (e *indexEntry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
+
 type explorerEntry struct {
 	ready chan struct{}
 	ex    *sweep.Explorer
 	err   error
+}
+
+// staleIndex is the last index successfully built for a graph name, retained
+// after the fresh entry is replaced or rebuilt so the server can degrade to
+// stale-while-revalidate serving: when a rebuild fails or is shed, queries
+// are answered from here — explicitly marked stale — instead of erroring.
+type staleIndex struct {
+	idx   *index.Index
+	g     *graph.CSR // generation the stale index was built on
+	built time.Time
 }
 
 // indexCache caches one query index per graph with single-flight
@@ -35,27 +60,50 @@ type explorerEntry struct {
 // shares the single per-graph instance; the index is safe for concurrent
 // readers (see index.Index), so cached instances are handed to every request
 // without locking.
+//
+// Overload safety on top of the PR 3 design:
+//
+//   - builds run on their own goroutine under a context cancelled when every
+//     waiter has abandoned them (and aborted outright on graph eviction);
+//   - builds pass through the admission semaphore when one is configured, so
+//     a storm of first queries for distinct graphs sheds instead of piling
+//     up σ passes;
+//   - a byte budget bounds resident indexes with LRU eviction;
+//   - the last good index per graph survives in the stale store for
+//     degraded-mode serving (droppable under memory pressure).
 type indexCache struct {
 	mu      sync.Mutex
-	entries map[string]*indexEntry // graph name → entry
+	entries map[string]*indexEntry // graph name → fresh entry
+	stale   map[string]*staleIndex // graph name → last good index
 	met     *Metrics
-	threads int // workers for index construction (0 = GOMAXPROCS)
+	threads int        // workers for index construction (0 = GOMAXPROCS)
+	admit   *admission // nil → builds are never shed
+	budget  int64      // max resident index bytes (0 → unlimited)
 }
 
-func newIndexCache(met *Metrics, threads int) *indexCache {
+func newIndexCache(met *Metrics, threads int, admit *admission, budget int64) *indexCache {
 	return &indexCache{
 		entries: make(map[string]*indexEntry),
+		stale:   make(map[string]*staleIndex),
 		met:     met,
 		threads: threads,
+		admit:   admit,
+		budget:  budget,
 	}
 }
 
 // get returns the cached index for the graph, building it on first use. hit
 // reports whether the index was already resident; buildMS is the
-// construction time paid by the request that built it (0 on hits).
-func (c *indexCache) get(ge *GraphEntry) (idx *index.Index, hit bool, buildMS float64, err error) {
+// construction time paid by the request that built it (0 on hits). get
+// honors ctx while waiting: an abandoned wait returns ctx.Err() (and may
+// cancel the build — see indexEntry.waiters), and build admission failures
+// surface as *OverloadError so the handler can degrade to stale serving.
+func (c *indexCache) get(ctx context.Context, ge *GraphEntry) (idx *index.Index, hit bool, buildMS float64, err error) {
 	e, built := c.entry(ge)
-	<-e.ready
+	e.touch()
+	if err := c.wait(ctx, e); err != nil {
+		return nil, false, 0, err
+	}
 	if e.err != nil {
 		return nil, false, 0, e.err
 	}
@@ -66,8 +114,39 @@ func (c *indexCache) get(ge *GraphEntry) (idx *index.Index, hit bool, buildMS fl
 	return e.idx, true, 0, nil
 }
 
-// entry returns the cache entry for the graph, creating (and building) it on
-// first use; built reports whether this call performed the build.
+// wait blocks until the entry's build completes or ctx expires. The waiter
+// registers itself so the cache knows whether anybody still cares about an
+// in-flight build; the last waiter to abandon an unfinished build cancels
+// it.
+func (c *indexCache) wait(ctx context.Context, e *indexEntry) error {
+	e.waiters.Add(1)
+	select {
+	case <-e.ready:
+		e.waiters.Add(-1)
+		return nil
+	case <-ctx.Done():
+		if e.waiters.Add(-1) == 0 {
+			select {
+			case <-e.ready: // finished in the meantime; keep the result
+			default:
+				// Nobody is left to consume the build: cancel it and drop the
+				// entry right away so the next query starts a fresh build
+				// instead of inheriting this one's cancellation error.
+				e.cancelBuild()
+				c.mu.Lock()
+				if c.entries[e.name] == e {
+					delete(c.entries, e.name)
+				}
+				c.mu.Unlock()
+			}
+		}
+		return ctx.Err()
+	}
+}
+
+// entry returns the cache entry for the graph, creating it (and launching
+// its build) on first use; built reports whether this call launched the
+// build.
 func (c *indexCache) entry(ge *GraphEntry) (e *indexEntry, built bool) {
 	c.mu.Lock()
 	e, ok := c.entries[ge.Name]
@@ -80,27 +159,90 @@ func (c *indexCache) entry(ge *GraphEntry) (e *indexEntry, built bool) {
 		c.mu.Unlock()
 		return e, false
 	}
-	e = &indexEntry{ready: make(chan struct{}), g: ge.G, explorers: make(map[int]*explorerEntry)}
+	buildCtx, cancel := context.WithCancel(context.Background())
+	e = &indexEntry{
+		name:        ge.Name,
+		g:           ge.G,
+		ready:       make(chan struct{}),
+		cancelBuild: cancel,
+		explorers:   make(map[int]*explorerEntry),
+	}
+	e.touch()
 	c.entries[ge.Name] = e
 	c.mu.Unlock()
 
 	c.met.IndexMisses.Add(1)
-	start := time.Now()
-	e.idx = index.Build(ge.G, c.threads)
-	e.buildMS = float64(time.Since(start).Microseconds()) / 1000
-	c.met.IndexSims.Add(e.idx.SimEvals()) // one σ per undirected edge
-	c.met.IndexBuildUS.Add(time.Since(start).Microseconds())
-	close(e.ready)
+	go c.build(buildCtx, e)
 	return e, true
+}
+
+// build runs one single-flight index construction on its own goroutine.
+func (c *indexCache) build(ctx context.Context, e *indexEntry) {
+	defer e.cancelBuild() // release the context's timer resources
+	start := time.Now()
+	idx, err := c.runBuild(ctx, e)
+	if err == nil {
+		e.idx = idx
+		e.buildMS = float64(time.Since(start).Microseconds()) / 1000
+		c.met.IndexSims.Add(idx.SimEvals()) // one σ per undirected edge
+		c.met.IndexBuildUS.Add(time.Since(start).Microseconds())
+	} else {
+		e.err = err
+	}
+
+	c.mu.Lock()
+	current := c.entries[e.name] == e
+	if err != nil {
+		// Failed or abandoned builds are not cached: the next query retries.
+		if current {
+			delete(c.entries, e.name)
+		}
+	} else if current {
+		// Publish as the last good index for degraded-mode serving, then
+		// enforce the byte budget (never evicting the entry just built).
+		c.stale[e.name] = &staleIndex{idx: idx, g: e.g, built: time.Now()}
+		c.enforceBudgetLocked(e)
+	}
+	// When the entry was evicted mid-build the result is handed only to the
+	// waiters already parked on ready; it is not (re-)published.
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// runBuild passes the build through admission control (when configured), the
+// chaos fault point, and the cancellable σ pass.
+func (c *indexCache) runBuild(ctx context.Context, e *indexEntry) (*index.Index, error) {
+	if c.admit != nil {
+		release, err := c.admit.acquireBuild(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	if err := faultinject.Hit("index.build"); err != nil {
+		return nil, err
+	}
+	return index.BuildCtx(ctx, e.g, c.threads)
+}
+
+// staleFor returns the last good index for the graph name, if any.
+func (c *indexCache) staleFor(name string) (*staleIndex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.stale[name]
+	return s, ok
 }
 
 // explorer returns a μ-fixed sweep explorer derived from the graph's index,
 // building the index on first use and memoizing one explorer per μ. The
 // derivation performs no σ work (sweep.FromIndex), so hit/buildMS report the
 // index cache outcome — the quantity that matters for similarity cost.
-func (c *indexCache) explorer(ge *GraphEntry, mu int) (ex *sweep.Explorer, hit bool, buildMS float64, err error) {
+func (c *indexCache) explorer(ctx context.Context, ge *GraphEntry, mu int) (ex *sweep.Explorer, hit bool, buildMS float64, err error) {
 	e, built := c.entry(ge)
-	<-e.ready
+	e.touch()
+	if err := c.wait(ctx, e); err != nil {
+		return nil, false, 0, err
+	}
 	if e.err != nil {
 		return nil, false, 0, e.err
 	}
@@ -126,7 +268,11 @@ func (c *indexCache) explorer(ge *GraphEntry, mu int) (ex *sweep.Explorer, hit b
 		close(ee.ready)
 	} else {
 		e.mu.Unlock()
-		<-ee.ready
+		select {
+		case <-ee.ready:
+		case <-ctx.Done():
+			return nil, false, 0, ctx.Err()
+		}
 	}
 	if ee.err != nil {
 		return nil, false, 0, ee.err
@@ -135,12 +281,104 @@ func (c *indexCache) explorer(ge *GraphEntry, mu int) (ex *sweep.Explorer, hit b
 }
 
 // evictGraph drops the named graph's cached index and derived explorers
-// (after a registry eviction). Builds in flight complete and are then
-// dropped on the next get via the staleness check.
+// (after a registry eviction), aborting any build still in flight — its
+// waiters see a cancellation, retryable once the graph is reloaded. The
+// stale snapshot is retained: an evict-and-reload cycle is the common way to
+// refresh a graph, and the snapshot is what lets queries degrade to
+// stale-marked answers while the replacement index builds (or fails to).
+// Memory-budget enforcement reclaims it when space is needed.
 func (c *indexCache) evictGraph(name string) {
 	c.mu.Lock()
+	e, ok := c.entries[name]
+	if ok {
+		delete(c.entries, name)
+	}
+	c.mu.Unlock()
+	if ok {
+		select {
+		case <-e.ready:
+		default:
+			e.cancelBuild()
+		}
+	}
+}
+
+// enforceBudgetLocked evicts least-recently-used indexes until resident
+// bytes fit the budget, never evicting keep (the entry that triggered
+// enforcement) or entries with live waiters. Orphaned stale snapshots (whose
+// fresh entry is gone or replaced) go first — they only serve degraded mode;
+// fresh entries follow in LRU order, each dropping its stale twin when that
+// twin is the same index (otherwise nothing would be freed). c.mu must be
+// held.
+func (c *indexCache) enforceBudgetLocked(keep *indexEntry) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.usedBytesLocked() > c.budget {
+		// Oldest orphaned stale snapshot first.
+		var oldestName string
+		var oldest *staleIndex
+		for name, s := range c.stale {
+			if e, ok := c.entries[name]; ok && e.idx == s.idx {
+				continue // twin of a live entry: freeing it frees nothing
+			}
+			if oldest == nil || s.built.Before(oldest.built) {
+				oldestName, oldest = name, s
+			}
+		}
+		if oldest != nil {
+			delete(c.stale, oldestName)
+			c.met.IndexEvicted.Add(1)
+			continue
+		}
+		// Then the least-recently-used idle fresh entry (and its twin).
+		var victim *indexEntry
+		for _, e := range c.entries {
+			if e == keep || e.idx == nil || e.waiters.Load() > 0 {
+				continue
+			}
+			if victim == nil || e.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // nothing evictable; the budget is best-effort
+		}
+		delete(c.entries, victim.name)
+		if s, ok := c.stale[victim.name]; ok && s.idx == victim.idx {
+			delete(c.stale, victim.name)
+		}
+		c.met.IndexEvicted.Add(1)
+	}
+}
+
+// usedBytesLocked sums the bytes of every distinct resident index (a fresh
+// entry and its stale twin share storage and count once). c.mu must be held.
+func (c *indexCache) usedBytesLocked() int64 {
+	seen := make(map[*index.Index]struct{}, len(c.entries)+len(c.stale))
+	var total int64
+	for _, e := range c.entries {
+		if e.idx != nil {
+			if _, ok := seen[e.idx]; !ok {
+				seen[e.idx] = struct{}{}
+				total += e.idx.Bytes()
+			}
+		}
+	}
+	for _, s := range c.stale {
+		if _, ok := seen[s.idx]; !ok {
+			seen[s.idx] = struct{}{}
+			total += s.idx.Bytes()
+		}
+	}
+	return total
+}
+
+// usedBytes returns the resident index bytes (for the /metrics gauge).
+func (c *indexCache) usedBytes() int64 {
+	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.entries, name)
+	return c.usedBytesLocked()
 }
 
 // size returns the number of resident indexes.

@@ -28,6 +28,14 @@ type Metrics struct {
 	IndexSims     atomic.Int64 // σ evaluations spent building per-graph indexes
 	IndexBuildUS  atomic.Int64 // wall time spent building indexes (µs)
 	QueryUS       atomic.Int64 // wall time spent answering queries (µs)
+	IndexEvicted  atomic.Int64 // indexes dropped by the memory budget
+
+	AdmissionAdmitted atomic.Int64 // heavy work admitted through the semaphore
+	AdmissionQueued   atomic.Int64 // admissions that waited in the bounded queue
+	AdmissionShed     atomic.Int64 // heavy work refused (queue full / timed out)
+	RateLimited       atomic.Int64 // requests refused by per-client rate limits
+	StaleServed       atomic.Int64 // queries answered from a stale index
+	DeadlineExceeded  atomic.Int64 // requests cut short by their deadline
 
 	HTTPRequests atomic.Int64
 	latencyCount [len(latencyBuckets) + 1]atomic.Int64
@@ -81,6 +89,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 	counter("anyscand_index_cache_misses_total", "Query-index cache misses (builds).", m.IndexMisses.Load())
 	counter("anyscand_index_sim_evals_total", "Similarity evaluations spent building query indexes.", m.IndexSims.Load())
 	counter("anyscand_http_requests_total", "HTTP requests handled.", m.HTTPRequests.Load())
+	counter("anyscand_index_evicted_total", "Query indexes evicted by the memory budget.", m.IndexEvicted.Load())
+	counter("anyscand_admission_admitted_total", "Heavy requests admitted through the semaphore.", m.AdmissionAdmitted.Load())
+	counter("anyscand_admission_queued_total", "Heavy requests that waited in the admission queue.", m.AdmissionQueued.Load())
+	counter("anyscand_admission_shed_total", "Heavy requests shed (queue full or wait timed out).", m.AdmissionShed.Load())
+	counter("anyscand_rate_limited_total", "Requests refused by per-client rate limits.", m.RateLimited.Load())
+	counter("anyscand_stale_served_total", "Queries answered from a stale index in degraded mode.", m.StaleServed.Load())
+	counter("anyscand_deadline_exceeded_total", "Requests cut short by their deadline.", m.DeadlineExceeded.Load())
 	fmt.Fprintf(w, "# HELP anyscand_index_build_ms_total Wall time spent building query indexes.\n# TYPE anyscand_index_build_ms_total counter\nanyscand_index_build_ms_total %g\n",
 		float64(m.IndexBuildUS.Load())/1000)
 	fmt.Fprintf(w, "# HELP anyscand_query_ms_total Wall time spent answering interactive queries.\n# TYPE anyscand_query_ms_total counter\nanyscand_query_ms_total %g\n",

@@ -11,10 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
+
+	"anyscan/internal/faultinject"
 )
 
 // Config configures a Server.
@@ -28,19 +31,79 @@ type Config struct {
 	//
 	// Deprecated: use IndexThreads.
 	ExplorerThreads int
+	// Overload configures admission control, deadlines, rate limits, and the
+	// index memory budget; zero values pick production-safe defaults.
+	Overload OverloadConfig
 	// Logger receives request and lifecycle logs (nil → slog.Default()).
 	Logger *slog.Logger
+}
+
+// OverloadConfig bounds what the server will take on at once. The design
+// invariant is that a request is answered within its deadline — with a fresh
+// answer, a stale-marked answer, or a fast 429/503 + Retry-After — never by
+// queuing unboundedly.
+type OverloadConfig struct {
+	// BuildSlots is the number of index builds that may run concurrently;
+	// the admission semaphore's capacity is derived from it (0 → 2).
+	BuildSlots int
+	// QueueDepth bounds the admission wait queue; requests beyond it are
+	// shed immediately with 503 + Retry-After (0 → 16, negative → no queue:
+	// saturation sheds at once).
+	QueueDepth int
+	// QueueWait bounds how long an admitted-but-queued request waits before
+	// it is shed (0 → 2s).
+	QueueWait time.Duration
+	// QueryTimeout is the default deadline on index-building routes —
+	// /v1/query and its deprecated aliases, graph loads (0 → 60s, negative →
+	// none). Clients may shorten it per request with ?timeout_ms=.
+	QueryTimeout time.Duration
+	// RequestTimeout is the default deadline on every other route
+	// (0 → 15s, negative → none).
+	RequestTimeout time.Duration
+	// RatePerSec enables per-client token-bucket rate limiting at this
+	// request rate (0 → unlimited). Health, readiness, and metrics probes
+	// are exempt.
+	RatePerSec float64
+	// RateBurst is the token-bucket burst (0 → 2×RatePerSec).
+	RateBurst int
+	// IndexMemoryBudget bounds resident query-index bytes; least-recently-
+	// used indexes (stale snapshots first) are evicted above it
+	// (0 → unlimited).
+	IndexMemoryBudget int64
+}
+
+// withDefaults fills zero fields with the production defaults.
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.BuildSlots == 0 {
+		c.BuildSlots = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	return c
 }
 
 // Server wires the graph registry, the job manager, and the per-graph query
 // index cache behind an http.Handler.
 type Server struct {
-	reg  *Registry
-	jobs *Manager
-	idx  *indexCache
-	met  *Metrics
-	log  *slog.Logger
-	mux  *http.ServeMux
+	reg     *Registry
+	jobs    *Manager
+	idx     *indexCache
+	met     *Metrics
+	log     *slog.Logger
+	mux     *http.ServeMux
+	admit   *admission
+	limiter *rateLimiter
+	ocfg    OverloadConfig
 }
 
 // New builds a Server, recovering any unfinished jobs from the checkpoint
@@ -62,13 +125,18 @@ func New(cfg Config) (*Server, error) {
 	if threads == 0 {
 		threads = cfg.ExplorerThreads
 	}
+	ocfg := cfg.Overload.withDefaults()
+	admit := newAdmission(ocfg.BuildSlots, ocfg.QueueDepth, ocfg.QueueWait, met)
 	s := &Server{
-		reg:  reg,
-		jobs: jobs,
-		idx:  newIndexCache(met, threads),
-		met:  met,
-		log:  cfg.Logger,
-		mux:  http.NewServeMux(),
+		reg:     reg,
+		jobs:    jobs,
+		idx:     newIndexCache(met, threads, admit, ocfg.IndexMemoryBudget),
+		met:     met,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		admit:   admit,
+		limiter: newRateLimiter(ocfg.RatePerSec, ocfg.RateBurst),
+		ocfg:    ocfg,
 	}
 	s.routes()
 	return s, nil
@@ -95,44 +163,122 @@ func (s *Server) Drain(ctx context.Context) error { return s.jobs.Close(ctx) }
 // unversioned paths remain as aliases answered by the same index-backed
 // machinery.
 func (s *Server) routes() {
+	// Every route carries a default deadline, propagated through the request
+	// context into index builds and parallel loops: heavy routes (index-
+	// building queries, graph loads) get the query timeout, everything else
+	// the request timeout. Clients may shorten (never extend) the deadline
+	// with ?timeout_ms=.
+	heavy := func(h http.HandlerFunc) http.HandlerFunc { return s.withDeadline(s.ocfg.QueryTimeout, h) }
+	light := func(h http.HandlerFunc) http.HandlerFunc { return s.withDeadline(s.ocfg.RequestTimeout, h) }
 	handle := func(pattern string, h http.HandlerFunc) {
 		method, path, _ := strings.Cut(pattern, " ")
 		s.mux.HandleFunc(method+" /v1"+path, h)
 		s.mux.HandleFunc(pattern, h) // deprecated unversioned alias
 	}
-	handle("POST /graphs", s.handleLoadGraph)
-	handle("GET /graphs", s.handleListGraphs)
-	handle("DELETE /graphs/{name}", s.handleEvictGraph)
+	handle("POST /graphs", heavy(s.handleLoadGraph))
+	handle("GET /graphs", light(s.handleListGraphs))
+	handle("DELETE /graphs/{name}", light(s.handleEvictGraph))
 
-	handle("POST /jobs", s.handleSubmitJob)
-	handle("GET /jobs", s.handleListJobs)
-	handle("GET /jobs/{id}", s.handleJobStatus)
-	handle("GET /jobs/{id}/snapshot", s.handleJobSnapshot)
-	handle("GET /jobs/{id}/result", s.handleJobResult)
-	handle("POST /jobs/{id}/pause", s.jobControl((*Manager).Pause))
-	handle("POST /jobs/{id}/resume", s.jobControl((*Manager).Resume))
-	handle("POST /jobs/{id}/cancel", s.jobControl((*Manager).Cancel))
+	handle("POST /jobs", light(s.handleSubmitJob))
+	handle("GET /jobs", light(s.handleListJobs))
+	handle("GET /jobs/{id}", light(s.handleJobStatus))
+	handle("GET /jobs/{id}/snapshot", light(s.handleJobSnapshot))
+	handle("GET /jobs/{id}/result", light(s.handleJobResult))
+	handle("POST /jobs/{id}/pause", light(s.jobControl((*Manager).Pause)))
+	handle("POST /jobs/{id}/resume", light(s.jobControl((*Manager).Resume)))
+	handle("POST /jobs/{id}/cancel", light(s.jobControl((*Manager).Cancel)))
 
-	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/query", heavy(s.handleQuery))
 	// Deprecated pre-/v1 query surface, answered by the same index cache.
-	s.mux.HandleFunc("GET /cluster", s.handleCluster)
-	s.mux.HandleFunc("GET /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /cluster", heavy(s.handleCluster))
+	s.mux.HandleFunc("GET /sweep", heavy(s.handleSweep))
 
 	handle("GET /metrics", s.handleMetrics)
 	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
 }
 
-// ServeHTTP implements http.Handler with request logging and latency
-// observation around the mux.
+// withDeadline attaches the route's default deadline to the request context
+// and pushes it down to the transport: the connection's read deadline bounds
+// slow-loris bodies, the write deadline bounds stuck clients. A client may
+// shorten the deadline with ?timeout_ms= (capped at the route default so the
+// server stays in charge of its own worst case). d <= 0 disables the
+// deadline.
+func (s *Server) withDeadline(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// timeout must be a per-request copy: d is captured by every request
+		// on this route, so assigning to it would make one request's
+		// ?timeout_ms= the route's deadline forever after.
+		timeout := d
+		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+			if ms, err := strconv.Atoi(raw); err == nil && ms > 0 {
+				if req := time.Duration(ms) * time.Millisecond; timeout <= 0 || req < timeout {
+					timeout = req
+				}
+			}
+		}
+		if timeout <= 0 {
+			h(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		rc := http.NewResponseController(w)
+		rc.SetReadDeadline(time.Now().Add(timeout))
+		rc.SetWriteDeadline(time.Now().Add(timeout + 5*time.Second))
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// ServeHTTP implements http.Handler with per-client rate limiting, request
+// logging, and latency observation around the mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	if s.limiter != nil && !probePath(r.URL.Path) {
+		if ok, retryAfter := s.limiter.Allow(clientKey(r), time.Now()); !ok {
+			s.met.RateLimited.Add(1)
+			writeError(sw, 0, &OverloadError{
+				Code:       http.StatusTooManyRequests,
+				RetryAfter: retryAfter,
+				Reason:     "rate-limit",
+			})
+			s.observe(r, sw, start)
+			return
+		}
+	}
 	s.mux.ServeHTTP(sw, r)
+	s.observe(r, sw, start)
+}
+
+func (s *Server) observe(r *http.Request, sw *statusWriter, start time.Time) {
 	d := time.Since(start)
 	s.met.ObserveLatency(d)
 	s.log.Info("request",
 		"method", r.Method, "path", r.URL.Path,
 		"status", sw.status, "ms", float64(d.Microseconds())/1000)
+}
+
+// probePath reports whether the path is an operational probe exempt from
+// rate limiting — throttling the load balancer's health checks or the
+// metrics scraper only makes an overload harder to see.
+func probePath(path string) bool {
+	switch strings.TrimPrefix(path, "/v1") {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// clientKey identifies the client for rate limiting: the remote host without
+// the ephemeral port, so one misbehaving client maps to one bucket across
+// connections.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }
 
 type statusWriter struct {
@@ -151,8 +297,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError answers a non-2xx response. Overload errors override code with
+// their own status and carry a Retry-After header; context deadline/cancel
+// errors become 503 + Retry-After (the request can be retried against a less
+// loaded moment). Any other error uses code as given.
 func writeError(w http.ResponseWriter, code int, err error) {
+	var oe *OverloadError
+	switch {
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+		code = oe.Code
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
+	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1 — the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // errorCode maps a domain error to an HTTP status.
@@ -322,12 +491,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", raw))
 			return
 		}
-		resp, code, err := s.queryClustering(ge, mu, eps, wantAssignments(r))
-		if err != nil {
-			writeError(w, code, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
+		s.serveClustering(w, r, ge, mu, eps)
 		return
 	}
 
@@ -350,19 +514,89 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp, code, err := s.queryProfile(ge, mu, epsValues, limit)
+	s.serveProfile(w, r, ge, mu, epsValues, limit)
+}
+
+// serveClustering answers one (μ, ε) clustering, degrading to the last good
+// index — explicitly marked stale — when the fresh build fails or is shed.
+func (s *Server) serveClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps float64) {
+	resp, code, err := s.queryClustering(r.Context(), ge, mu, eps, wantAssignments(r))
 	if err != nil {
+		if s.degradeClustering(w, r, ge, mu, eps, err) {
+			return
+		}
+		s.countDeadline(err)
 		writeError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// degradeClustering serves a stale-marked clustering when the fresh index is
+// unavailable for capacity reasons (shed build, expired deadline, failed
+// rebuild) and a last good index exists. Parameter errors never degrade.
+func (s *Server) degradeClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps float64, cause error) bool {
+	if !degradable(cause) {
+		return false
+	}
+	st, ok := s.idx.staleFor(ge.Name)
+	if !ok {
+		return false
+	}
+	start := time.Now()
+	res, err := st.idx.Query(mu, eps)
+	if err != nil {
+		return false
+	}
+	queryUS := time.Since(start).Microseconds()
+	s.met.QueryUS.Add(queryUS)
+	s.met.QueriesServed.Add(1)
+	s.met.StaleServed.Add(1)
+	s.log.Warn("serving stale index", "graph", ge.Name, "cause", cause.Error())
+	w.Header().Set("X-Anyscan-Stale", "1")
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Graph:             ge.Name,
+		Mu:                mu,
+		Eps:               eps,
+		CacheHit:          true,
+		Stale:             true,
+		QueryMS:           float64(queryUS) / 1000,
+		ClusteringPayload: clusteringPayload(res, wantAssignments(r)),
+	})
+	return true
+}
+
+// degradable reports whether an error is a capacity condition that stale
+// serving may paper over, as opposed to a caller mistake.
+func degradable(err error) bool {
+	var oe *OverloadError
+	return errors.As(err, &oe) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, faultinject.ErrInjected)
+}
+
+func (s *Server) countDeadline(err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.met.DeadlineExceeded.Add(1)
+	}
+}
+
 // queryClustering answers one (μ, ε) clustering from the graph's index.
-func (s *Server) queryClustering(ge *GraphEntry, mu int, eps float64, withAssignments bool) (QueryResponse, int, error) {
-	idx, hit, buildMS, err := s.idx.get(ge)
+func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, eps float64, withAssignments bool) (QueryResponse, int, error) {
+	idx, hit, buildMS, err := s.idx.get(ctx, ge)
 	if err != nil {
 		return QueryResponse{}, http.StatusBadRequest, err
+	}
+	if withAssignments && s.admit != nil {
+		// Assignment-carrying answers serialize O(|V|) state; meter them
+		// through the admission semaphore so a storm of them cannot starve
+		// builds or each other unboundedly.
+		release, err := s.admit.acquireQuery(ctx)
+		if err != nil {
+			return QueryResponse{}, http.StatusServiceUnavailable, err
+		}
+		defer release()
 	}
 	start := time.Now()
 	res, err := idx.Query(mu, eps)
@@ -383,11 +617,24 @@ func (s *Server) queryClustering(ge *GraphEntry, mu int, eps float64, withAssign
 	}, 0, nil
 }
 
+// serveProfile answers the profile form, falling back to a stale-derived
+// explorer only implicitly (profiles are summaries; degraded mode serves
+// clusterings, which carry the stale marker end-to-end).
+func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, epsValues []float64, limit int) {
+	resp, code, err := s.queryProfile(r.Context(), ge, mu, epsValues, limit)
+	if err != nil {
+		s.countDeadline(err)
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // queryProfile answers a multi-ε profile for one μ via the explorer derived
 // from the graph's index (no σ work). An empty epsValues list probes up to
 // limit interesting thresholds.
-func (s *Server) queryProfile(ge *GraphEntry, mu int, epsValues []float64, limit int) (QueryResponse, int, error) {
-	ex, hit, buildMS, err := s.idx.explorer(ge, mu)
+func (s *Server) queryProfile(ctx context.Context, ge *GraphEntry, mu int, epsValues []float64, limit int) (QueryResponse, int, error) {
+	ex, hit, buildMS, err := s.idx.explorer(ctx, ge, mu)
 	if err != nil {
 		return QueryResponse{}, http.StatusBadRequest, err
 	}
@@ -430,12 +677,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	resp, code, err := s.queryClustering(ge, mu, eps, wantAssignments(r))
-	if err != nil {
-		writeError(w, code, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveClustering(w, r, ge, mu, eps)
 }
 
 // handleSweep answers the deprecated GET /sweep endpoint (now an alias of
@@ -471,12 +713,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp, code, err := s.queryProfile(ge, mu, epsValues, limit)
-	if err != nil {
-		writeError(w, code, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveProfile(w, r, ge, mu, epsValues, limit)
 }
 
 // --- observability --------------------------------------------------------
@@ -488,6 +725,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"anyscand_indexes_cached", "Query indexes resident in the cache.", float64(s.idx.size())},
 		{"anyscand_index_cache_hit_rate", "Query-index cache hit rate.", s.met.IndexHitRate()},
 		{"anyscand_job_sim_evals", "Similarity evaluations across all jobs.", float64(s.jobs.TotalSims())},
+		{"anyscand_index_memory_bytes", "Resident query-index bytes (fresh + stale).", float64(s.idx.usedBytes())},
+		{"anyscand_admission_queue_depth", "Requests waiting in the admission queue.", float64(s.admit.sem.QueueLen())},
 	}
 	for _, st := range []JobState{JobQueued, JobRunning, JobPaused, JobDone, JobFailed, JobCanceled} {
 		gauges = append(gauges, Gauge{
@@ -500,10 +739,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.WritePrometheus(w, gauges)
 }
 
+// handleHealthz is the liveness probe: the process is up and serving HTTP.
+// It deliberately never looks at drain or load state — restarting a draining
+// or briefly saturated daemon would only lose work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.jobs.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while draining (shutdown in
+// progress) or while the admission queue is saturated, so load balancers
+// steer new traffic elsewhere before requests get shed.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.jobs.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.admit.sem.Saturated():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

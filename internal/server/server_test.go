@@ -21,6 +21,11 @@ import (
 	"anyscan/internal/server"
 )
 
+// tctx is the background context threaded through client calls in tests that
+// don't exercise cancellation themselves; per-call deadlines come from the
+// server's route timeouts.
+var tctx = context.Background()
+
 // testGraph is a shared LFR benchmark graph, generated once: big enough that
 // a single-threaded job takes many steps (so tests can reliably pause or
 // cancel mid-run), small enough to keep the suite fast.
@@ -92,10 +97,10 @@ func slowSpec(graphName string) server.JobSpec {
 func pauseMidRun(t *testing.T, c *server.Client, id string) server.JobStatus {
 	t.Helper()
 	for {
-		if st, err := c.PauseJob(id); err == nil {
+		if st, err := c.PauseJob(tctx, id); err == nil {
 			return st
 		}
-		st, err := c.JobStatus(id)
+		st, err := c.JobStatus(tctx, id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +145,7 @@ func TestE2EJobLifecycle(t *testing.T) {
 	path := writeGraphFile(t, g, t.TempDir())
 	_, c := newTestServer(t, server.ManagerConfig{Workers: 2})
 
-	info, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}})
+	info, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +154,7 @@ func TestE2EJobLifecycle(t *testing.T) {
 	}
 
 	spec := slowSpec("g")
-	st, err := c.SubmitJob(spec)
+	st, err := c.SubmitJob(tctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +166,7 @@ func TestE2EJobLifecycle(t *testing.T) {
 	paused := pauseMidRun(t, c, st.ID)
 	for paused.State == server.JobRunning { // pause was accepted but not yet parked
 		time.Sleep(time.Millisecond)
-		if paused, err = c.JobStatus(st.ID); err != nil {
+		if paused, err = c.JobStatus(tctx, st.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,7 +176,7 @@ func TestE2EJobLifecycle(t *testing.T) {
 	if paused.Progress.Done {
 		t.Fatal("paused mid-run but progress says done")
 	}
-	snap, err := c.JobSnapshot(st.ID, true)
+	snap, err := c.JobSnapshot(tctx, st.ID, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,14 +187,14 @@ func TestE2EJobLifecycle(t *testing.T) {
 		t.Fatal("mid-run snapshot has no per-vertex assignments")
 	}
 
-	if _, err := c.ResumeJob(st.ID); err != nil {
+	if _, err := c.ResumeJob(tctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
 
 	// Monotone progress while the job runs to completion.
 	prev := paused.Progress
 	for {
-		cur, err := c.JobStatus(st.ID)
+		cur, err := c.JobStatus(tctx, st.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +216,7 @@ func TestE2EJobLifecycle(t *testing.T) {
 	}
 
 	// Final result must equal the batch anyscan result for the same inputs.
-	res, err := c.JobResult(st.ID, true)
+	res, err := c.JobResult(tctx, st.ID, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,20 +238,20 @@ func TestE2ECancelMidRun(t *testing.T) {
 	path := writeGraphFile(t, g, t.TempDir())
 	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
 
-	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.SubmitJob(slowSpec("g"))
+	st, err := c.SubmitJob(tctx, slowSpec("g"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CancelJob(st.ID); err != nil {
+	if _, err := c.CancelJob(tctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	var final server.JobStatus
 	for {
-		if final, err = c.JobStatus(st.ID); err != nil {
+		if final, err = c.JobStatus(tctx, st.ID); err != nil {
 			t.Fatal(err)
 		}
 		if final.State.Terminal() {
@@ -260,10 +265,10 @@ func TestE2ECancelMidRun(t *testing.T) {
 	if final.State != server.JobCanceled {
 		t.Fatalf("state after cancel = %s", final.State)
 	}
-	if _, err := c.JobSnapshot(st.ID, false); err != nil {
+	if _, err := c.JobSnapshot(tctx, st.ID, false); err != nil {
 		t.Fatalf("snapshot of canceled job: %v", err)
 	}
-	if _, err := c.JobResult(st.ID, false); err == nil {
+	if _, err := c.JobResult(tctx, st.ID, false); err == nil {
 		t.Fatal("result of a canceled job should not exist")
 	}
 }
@@ -285,10 +290,10 @@ func TestE2ERestartRecovery(t *testing.T) {
 	}
 	tsA := httptest.NewServer(srvA)
 	cA := server.NewClient(tsA.URL)
-	if _, err := cA.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := cA.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := cA.SubmitJob(spec)
+	st, err := cA.SubmitJob(tctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,24 +310,21 @@ func TestE2ERestartRecovery(t *testing.T) {
 
 	// Second daemon on the same checkpoint dir: the job comes back paused.
 	_, cB := newTestServer(t, server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir})
-	rec, err := cB.JobStatus(st.ID)
+	rec, err := cB.JobStatus(tctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.State != server.JobPaused || !rec.Recovered {
 		t.Fatalf("recovered job: state=%s recovered=%v", rec.State, rec.Recovered)
 	}
-	if _, err := cB.ResumeJob(st.ID); err != nil {
+	if _, err := cB.ResumeJob(tctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
-	final, err := cB.WaitJob(st.ID, 30*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	final := waitJob(t, cB, st.ID)
 	if final.State != server.JobDone {
 		t.Fatalf("recovered job finished as %s (%s)", final.State, final.Error)
 	}
-	res, err := cB.JobResult(st.ID, true)
+	res, err := cB.JobResult(tctx, st.ID, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,10 +351,10 @@ func TestE2ECheckpointFaults(t *testing.T) {
 	}
 	tsA := httptest.NewServer(srvA)
 	cA := server.NewClient(tsA.URL)
-	if _, err := cA.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := cA.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := cA.SubmitJob(slowSpec("g"))
+	st, err := cA.SubmitJob(tctx, slowSpec("g"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +368,7 @@ func TestE2ECheckpointFaults(t *testing.T) {
 	}
 
 	// The next pause writes a good checkpoint; corrupt it on disk.
-	if _, err := cA.ResumeJob(st.ID); err != nil {
+	if _, err := cA.ResumeJob(tctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
 	pauseMidRun(t, cA, st.ID)
@@ -393,7 +395,7 @@ func TestE2ECheckpointFaults(t *testing.T) {
 
 	// The restarted daemon must come up and expose the job as failed.
 	_, cB := newTestServer(t, server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir})
-	rec, err := cB.JobStatus(st.ID)
+	rec, err := cB.JobStatus(tctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,11 +404,23 @@ func TestE2ECheckpointFaults(t *testing.T) {
 	}
 }
 
+// waitJob polls a job to a terminal state with a generous bound.
+func waitJob(t *testing.T, c *server.Client, id string) server.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.WaitJob(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func waitState(t *testing.T, c *server.Client, id string, want server.JobState) server.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		st, err := c.JobStatus(id)
+		st, err := c.JobStatus(tctx, id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -428,18 +442,18 @@ func TestE2EInteractiveQueries(t *testing.T) {
 	g := sharedGraph(t)
 	path := writeGraphFile(t, g, t.TempDir())
 	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
-	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
 
-	first, err := c.Cluster("g", 4, 0.4, true)
+	first, err := c.Cluster(tctx, "g", 4, 0.4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.CacheHit {
 		t.Fatal("first query reported a cache hit")
 	}
-	second, err := c.Cluster("g", 4, 0.55, false)
+	second, err := c.Cluster(tctx, "g", 4, 0.55, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +471,7 @@ func TestE2EInteractiveQueries(t *testing.T) {
 		t.Fatalf("interactive clustering differs from batch run: %v", err)
 	}
 
-	sweep, err := c.Sweep("g", 4, []float64{0.3, 0.4, 0.55})
+	sweep, err := c.Sweep(tctx, "g", 4, []float64{0.3, 0.4, 0.55})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +485,7 @@ func TestE2EInteractiveQueries(t *testing.T) {
 	}
 
 	// Auto-picked thresholds.
-	auto, err := c.Sweep("g", 4, nil)
+	auto, err := c.Sweep(tctx, "g", 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,16 +494,16 @@ func TestE2EInteractiveQueries(t *testing.T) {
 	}
 
 	// Eviction invalidates the index cache.
-	if err := c.EvictGraph("g"); err != nil {
+	if err := c.EvictGraph(tctx, "g"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Cluster("g", 4, 0.4, false); err == nil {
+	if _, err := c.Cluster(tctx, "g", 4, 0.4, false); err == nil {
 		t.Fatal("query against an evicted graph should fail")
 	}
-	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
-	reloaded, err := c.Cluster("g", 4, 0.4, false)
+	reloaded, err := c.Cluster(tctx, "g", 4, 0.4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,11 +522,11 @@ func TestE2EQueryOneSigmaPass(t *testing.T) {
 	g := sharedGraph(t)
 	path := writeGraphFile(t, g, t.TempDir())
 	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
-	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
 
-	first, err := c.Query("g", 4, 0.4, true)
+	first, err := c.Query(tctx, "g", 4, 0.4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +544,7 @@ func TestE2EQueryOneSigmaPass(t *testing.T) {
 	}
 
 	// A different μ on the same graph: served from the same index.
-	second, err := c.Query("g", 7, 0.55, false)
+	second, err := c.Query(tctx, "g", 7, 0.55, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -539,7 +553,7 @@ func TestE2EQueryOneSigmaPass(t *testing.T) {
 	}
 
 	// Profile form with auto-picked thresholds, at a third μ.
-	profile, err := c.QueryProfile("g", 5, nil, 8)
+	profile, err := c.QueryProfile(tctx, "g", 5, nil, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -547,7 +561,7 @@ func TestE2EQueryOneSigmaPass(t *testing.T) {
 		t.Fatalf("profile: hit=%v points=%d", profile.CacheHit, len(profile.Points))
 	}
 
-	text, err := c.MetricsText()
+	text, err := c.MetricsText(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -568,24 +582,22 @@ func TestE2EMetrics(t *testing.T) {
 	g := sharedGraph(t)
 	path := writeGraphFile(t, g, t.TempDir())
 	_, c := newTestServer(t, server.ManagerConfig{Workers: 1})
-	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.SubmitJob(server.JobSpec{Graph: "g", Mu: 4, Eps: 0.4, Seed: 7})
+	st, err := c.SubmitJob(tctx, server.JobSpec{Graph: "g", Mu: 4, Eps: 0.4, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WaitJob(st.ID, 30*time.Second); err != nil {
+	waitJob(t, c, st.ID)
+	if _, err := c.Cluster(tctx, "g", 4, 0.4, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Cluster("g", 4, 0.4, false); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.Cluster("g", 4, 0.5, false); err != nil {
+	if _, err := c.Cluster(tctx, "g", 4, 0.5, false); err != nil {
 		t.Fatal(err)
 	}
 
-	text, err := c.MetricsText()
+	text, err := c.MetricsText(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -642,10 +654,10 @@ func TestE2EDrain(t *testing.T) {
 	path := writeGraphFile(t, g, dir)
 	ckptDir := filepath.Join(dir, "ckpt")
 	srv, c := newTestServer(t, server.ManagerConfig{Workers: 1, CheckpointDir: ckptDir})
-	if _, err := c.LoadGraph(server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.SubmitJob(slowSpec("g"))
+	st, err := c.SubmitJob(tctx, slowSpec("g"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -654,7 +666,7 @@ func TestE2EDrain(t *testing.T) {
 	if err := srv.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	after, err := c.JobStatus(st.ID)
+	after, err := c.JobStatus(tctx, st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -669,10 +681,15 @@ func TestE2EDrain(t *testing.T) {
 	default:
 		t.Fatalf("after drain: state = %s", after.State)
 	}
-	if _, err := c.SubmitJob(slowSpec("g")); err == nil || !strings.Contains(err.Error(), "draining") {
+	if _, err := c.SubmitJob(tctx, slowSpec("g")); err == nil || !strings.Contains(err.Error(), "draining") {
 		t.Fatalf("submit during drain: %v", err)
 	}
-	if err := c.Healthz(); err == nil {
-		t.Fatal("healthz should fail while draining")
+	// Liveness stays green while draining — restarting a draining daemon
+	// would only lose work; readiness flips so traffic is steered away.
+	if err := c.Healthz(tctx); err != nil {
+		t.Fatalf("healthz should stay OK while draining: %v", err)
+	}
+	if err := c.Readyz(tctx); err == nil {
+		t.Fatal("readyz should fail while draining")
 	}
 }
