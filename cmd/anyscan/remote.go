@@ -27,12 +27,13 @@ import (
 //	anyscan remote snapshot -addr URL -job j1 [-assignments]
 //	anyscan remote result  -addr URL -job j1 [-assignments]
 //	anyscan remote pause | resume | cancel -addr URL -job j1
-//	anyscan remote query   -addr URL -graph g -mu 5 [-eps 0.5 | -eps-list 0.3,0.5 | -limit 8]
+//	anyscan remote query   -addr URL -graph g -mu 5 [-eps 0.5 | -eps-list 0.3,0.5 | -limit 8] [-min-epoch 3]
+//	anyscan remote mutate  -addr URL -graph g -ops add:1:2:0.8,del:3:4,rw:1:2:1.5
 //	anyscan remote cluster -addr URL -graph g -mu 5 -eps 0.5   (deprecated: use query)
 //	anyscan remote sweep   -addr URL -graph g -mu 5 [-eps-list 0.3,0.5]   (deprecated: use query)
 func remoteMain(args []string) {
 	if len(args) == 0 {
-		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|query|cluster|sweep> [flags]"))
+		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|query|mutate|cluster|sweep> [flags]"))
 	}
 	verb, args := args[0], args[1:]
 	fs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
@@ -46,6 +47,8 @@ func remoteMain(args []string) {
 	eps := fs.Float64("eps", 0.5, "ε: structural similarity threshold")
 	epsList := fs.String("eps-list", "", "comma-separated ε values (query/sweep profile)")
 	limit := fs.Int("limit", 0, "max auto-picked ε thresholds for a query profile (0 = server default)")
+	minEpoch := fs.Int64("min-epoch", 0, "query: wait for this live epoch before answering (read-your-writes)")
+	ops := fs.String("ops", "", "mutate: comma-separated add:u:v:w, del:u:v, rw:u:v:w operations")
 	threads := fs.Int("threads", 0, "worker count for the job (0 = server default)")
 	seed := fs.Int64("seed", 0, "random seed for the job (0 = server default)")
 	jobID := fs.String("job", "", "job id")
@@ -130,10 +133,15 @@ func remoteMain(args []string) {
 		case *epsList != "":
 			out, err = c.QueryProfile(ctx, needGraph(), *mu, parseEpsList(*epsList), *limit)
 		case epsSet:
-			out, err = c.Query(ctx, needGraph(), *mu, *eps, *withAssignments)
+			out, err = c.QueryEpoch(ctx, needGraph(), *mu, *eps, *minEpoch, *withAssignments)
 		default:
 			out, err = c.QueryProfile(ctx, needGraph(), *mu, nil, *limit)
 		}
+	case "mutate":
+		if *ops == "" {
+			fatal(fmt.Errorf("remote mutate needs -ops LIST (e.g. add:1:2:0.8,del:3:4)"))
+		}
+		out, err = c.Mutate(ctx, needGraph(), parseOps(*ops))
 	case "cluster": // deprecated alias of "query" with a single ε
 		out, err = c.Cluster(ctx, needGraph(), *mu, *eps, *withAssignments)
 	case "sweep": // deprecated alias of "query" with an ε list
@@ -151,6 +159,57 @@ func remoteMain(args []string) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(out)
+}
+
+// parseOps turns "-ops add:1:2:0.8,del:3:4,rw:1:2:1.5" into mutation specs.
+// Accepted op names: add, del/delete, rw/reweight. add and rw take u:v:w;
+// del takes u:v.
+func parseOps(raw string) []server.MutationSpec {
+	var muts []server.MutationSpec
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		var op string
+		switch fields[0] {
+		case "add":
+			op = "add"
+		case "del", "delete":
+			op = "delete"
+		case "rw", "reweight":
+			op = "reweight"
+		default:
+			fatal(fmt.Errorf("bad -ops entry %q: unknown op %q (want add, del, or rw)", part, fields[0]))
+		}
+		wantFields := 4
+		if op == "delete" {
+			wantFields = 3
+		}
+		if len(fields) != wantFields {
+			fatal(fmt.Errorf("bad -ops entry %q: want %s", part, map[string]string{
+				"add": "add:u:v:w", "delete": "del:u:v", "reweight": "rw:u:v:w"}[op]))
+		}
+		u, err1 := strconv.ParseInt(fields[1], 10, 32)
+		v, err2 := strconv.ParseInt(fields[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad -ops entry %q: endpoints must be integers", part))
+		}
+		m := server.MutationSpec{Op: op, U: int32(u), V: int32(v)}
+		if op != "delete" {
+			w, err := strconv.ParseFloat(fields[3], 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad -ops entry %q: bad weight %q", part, fields[3]))
+			}
+			m.W = float32(w)
+		}
+		muts = append(muts, m)
+	}
+	if len(muts) == 0 {
+		fatal(fmt.Errorf("-ops list is empty"))
+	}
+	return muts
 }
 
 func parseEpsList(raw string) []float64 {

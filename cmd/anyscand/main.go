@@ -2,7 +2,10 @@
 // graphs, asynchronous anytime clustering jobs (submit / poll / snapshot /
 // pause / resume / cancel), and interactive (μ, ε) queries on /v1/query,
 // answered from a per-graph query index built with a single similarity pass
-// per graph.
+// per graph. Graphs are mutable while being served: POST
+// /v1/graphs/{name}/edges applies a batch of edge mutations, patches the
+// index incrementally, and publishes the result as a new epoch whose token
+// gives read-your-writes on /v1/query via ?min_epoch=.
 //
 //	anyscand -addr :8080 -checkpoint-dir /var/lib/anyscand
 //

@@ -25,23 +25,28 @@ func LoadReport(path string) (Report, error) {
 }
 
 // recordKey identifies a measurement cell across two reports: same dataset,
-// algorithm, thread count and — for index-query rows — the same (μ, ε).
+// algorithm, thread count and — for index-query rows — the same (μ, ε), and
+// — for live-mutation rows — the same batch size.
 type recordKey struct {
 	Dataset   string
 	Algorithm string
 	Threads   int
 	Mu        int
 	Eps       float64
+	Batch     int
 }
 
 func keyOf(r Record) recordKey {
-	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps}
+	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps, r.Batch}
 }
 
 func (k recordKey) String() string {
 	s := fmt.Sprintf("%s/%s/threads=%d", k.Dataset, k.Algorithm, k.Threads)
 	if k.Mu != 0 || k.Eps != 0 {
 		s += fmt.Sprintf("/mu=%d,eps=%g", k.Mu, k.Eps)
+	}
+	if k.Batch != 0 {
+		s += fmt.Sprintf("/batch=%d", k.Batch)
 	}
 	return s
 }
@@ -141,6 +146,9 @@ func (rep Report) WriteGoBench(w io.Writer) error {
 			goBenchName(r.Algorithm), goBenchName(r.Dataset), r.Threads)
 		if r.Mu != 0 || r.Eps != 0 {
 			name += fmt.Sprintf("/mu-%d-eps-%g", r.Mu, r.Eps)
+		}
+		if r.Batch != 0 {
+			name += fmt.Sprintf("/batch-%d", r.Batch)
 		}
 		ns := r.WallMS * 1e6
 		if _, err := fmt.Fprintf(w, "%s \t%8d\t%12.0f ns/op\t%12d sim-evals\n",

@@ -18,12 +18,16 @@ import (
 // "index-build" rows measure the one-off σ pass of the query index, and
 // "index-query" rows carry their own per-record Mu/Eps with the latency of
 // answering that query from the index (zero σ evaluations).
+// "mutate-apply", "index-patch", and "index-rebuild" rows measure the live
+// mutable-graph write path; their Batch field is the mutation-batch size the
+// row was measured at.
 type Record struct {
 	Dataset   string  `json:"dataset"`
 	Algorithm string  `json:"algorithm"`
 	Threads   int     `json:"threads"`
-	Mu        int     `json:"mu,omitempty"`  // index-query rows only
-	Eps       float64 `json:"eps,omitempty"` // index-query rows only
+	Mu        int     `json:"mu,omitempty"`    // index-query rows only
+	Eps       float64 `json:"eps,omitempty"`   // index-query rows only
+	Batch     int     `json:"batch,omitempty"` // live-mutation rows only
 	WallMS    float64 `json:"wall_ms"`
 	SimEvals  int64   `json:"sim_evals"`
 	Clusters  int     `json:"clusters"`
@@ -95,18 +99,23 @@ func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
 		rec.Clusters = res.NumClusters
 		out = append(out, rec)
 	}
-	recs, err := cfg.measureIndex(base, g)
+	recs, x, err := cfg.measureIndex(base, g)
 	if err != nil {
 		return nil, err
 	}
-	return append(out, recs...), nil
+	out = append(out, recs...)
+	live, err := cfg.measureLive(base, g, x)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, live...), nil
 }
 
 // measureIndex records the one-off query-index build (the single σ pass)
 // followed by per-query latencies over a small (μ, ε) grid — the interactive
 // workload of the GS*-style index, where every query after the build costs
 // zero similarity evaluations.
-func (cfg Config) measureIndex(base Record, g *graph.CSR) ([]Record, error) {
+func (cfg Config) measureIndex(base Record, g *graph.CSR) ([]Record, *index.Index, error) {
 	threads := 1
 	for _, t := range cfg.Threads {
 		if t > threads {
@@ -131,14 +140,14 @@ func (cfg Config) measureIndex(base Record, g *graph.CSR) ([]Record, error) {
 			start := time.Now()
 			res, err := x.Query(mu, eps)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
 			rec.Clusters = res.NumClusters
 			out = append(out, rec)
 		}
 	}
-	return out, nil
+	return out, x, nil
 }
 
 func dedupInts(xs []int) []int {

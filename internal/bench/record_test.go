@@ -16,8 +16,19 @@ func TestCollectRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 4 batch baselines + one anySCAN row per thread count + 1 index build
-	// + a 2×3 (μ, ε) query grid.
-	want := 4 + len(cfg.Threads) + 1 + 6
+	// + a 2×3 (μ, ε) query grid + 1 mutate-apply row + an index-patch and
+	// index-rebuild pair per live batch size.
+	g, err := cfg.load("GR01L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := 0
+	for _, s := range dedupInts([]int{1, int(g.NumEdges() / 1000), int(g.NumEdges() / 100)}) {
+		if s >= 1 {
+			sizes++
+		}
+	}
+	want := 4 + len(cfg.Threads) + 1 + 6 + 1 + 2*sizes
 	if len(rep.Records) != want {
 		t.Fatalf("got %d records, want %d", len(rep.Records), want)
 	}
@@ -60,6 +71,12 @@ func TestCollectRecords(t *testing.T) {
 	for _, r := range rep.Records {
 		switch {
 		case r.Algorithm == "index-build":
+		case r.Algorithm == "mutate-apply" || r.Algorithm == "index-patch" || r.Algorithm == "index-rebuild":
+			// Write-path rows measure mutations, not a clustering; they carry
+			// the batch size instead.
+			if r.Batch < 1 {
+				t.Errorf("%s: missing batch size: %+v", r.Algorithm, r)
+			}
 		case r.Algorithm == "index-query":
 			if r.Mu == cfg.Mu && r.Eps == cfg.Eps && r.Clusters != clusters {
 				t.Errorf("index-query at the report (μ, ε): %d clusters, batch found %d", r.Clusters, clusters)

@@ -1,0 +1,79 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"anyscan/internal/gen"
+)
+
+// benchBatch builds a reproducible mixed batch whose mutations concentrate
+// on a small set of hub endpoints — the shape where batching pays, because
+// each hub star refreshes once per batch instead of once per mutation.
+func benchBatch(rng *rand.Rand, n int32, size int) []Mutation {
+	hubs := [4]int32{}
+	for i := range hubs {
+		hubs[i] = rng.Int31n(n)
+	}
+	muts := make([]Mutation, 0, size)
+	for len(muts) < size {
+		u := hubs[rng.Intn(len(hubs))]
+		v := rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			muts = append(muts, Mutation{Op: OpDelete, U: u, V: v})
+		} else {
+			muts = append(muts, Mutation{Op: OpAdd, U: u, V: v, W: 0.5 + rng.Float32()})
+		}
+	}
+	return muts
+}
+
+func benchGraph(b *testing.B) *Maintainer {
+	g := gen.ErdosRenyi(2000, 12000, gen.WeightConfig{}, 42)
+	m, err := FromGraph(g, 4, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkApplyBatch measures the batched write path: one Apply per batch,
+// each touched star refreshed once.
+func BenchmarkApplyBatch(b *testing.B) {
+	m := benchGraph(b)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		muts := benchBatch(rng, int32(m.NumVertices()), 64)
+		if _, err := m.Apply(muts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.SimEvals)/float64(b.N), "σ/batch")
+}
+
+// BenchmarkAddEdgeLoop measures the same batches applied one mutation at a
+// time — the baseline Apply must beat.
+func BenchmarkAddEdgeLoop(b *testing.B) {
+	m := benchGraph(b)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		muts := benchBatch(rng, int32(m.NumVertices()), 64)
+		for _, mu := range muts {
+			var err error
+			if mu.Op == OpDelete {
+				_, err = m.RemoveEdge(mu.U, mu.V)
+			} else {
+				_, err = m.AddEdge(mu.U, mu.V, mu.W)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(m.SimEvals)/float64(b.N), "σ/batch")
+}

@@ -13,6 +13,7 @@
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -74,7 +75,9 @@ func FromGraph(g *graph.CSR, mu int, eps float64) (*Maintainer, error) {
 		nb, wts := g.Neighbors(v)
 		for i, q := range nb {
 			if v < q {
-				m.AddEdge(v, q, wts[i])
+				if _, err := m.AddEdge(v, q, wts[i]); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -118,15 +121,20 @@ func (m *Maintainer) NeighborAt(v int32, i int) int32 { return m.adj[v][i].id }
 
 // AddEdge inserts the undirected edge (u,v) with weight w, or updates its
 // weight if present, and repairs all affected similarity state. Reports
-// whether the graph changed. Self loops and non-positive weights are
-// rejected.
-func (m *Maintainer) AddEdge(u, v int32, w float32) bool {
-	if u == v || !(w > 0) || !m.valid(u) || !m.valid(v) {
-		return false
+// whether the graph changed. Self loops, unknown vertices, and NaN /
+// infinite / non-positive weights are rejected with an error matching the
+// edge-list hardening in package graph — the old boolean guard (!(w > 0))
+// let +Inf through and silently corrupted σ norms.
+func (m *Maintainer) AddEdge(u, v int32, w float32) (bool, error) {
+	if err := m.validateEdge(u, v); err != nil {
+		return false, fmt.Errorf("dynamic: %w", err)
+	}
+	if err := validateWeight(w); err != nil {
+		return false, fmt.Errorf("dynamic: %w", err)
 	}
 	if i, ok := m.find(u, v); ok {
 		if m.adj[u][i].w == w {
-			return false
+			return false, nil
 		}
 		m.setWeight(u, v, w)
 	} else {
@@ -135,18 +143,19 @@ func (m *Maintainer) AddEdge(u, v int32, w float32) bool {
 		m.edges++
 	}
 	m.refreshAround(u, v)
-	return true
+	return true, nil
 }
 
 // RemoveEdge deletes (u,v) and repairs all affected similarity state.
-// Reports whether the edge existed.
-func (m *Maintainer) RemoveEdge(u, v int32) bool {
-	if !m.valid(u) || !m.valid(v) {
-		return false
+// Reports whether the edge existed; removing an absent edge is a no-op, not
+// an error. Self loops and unknown vertices are errors as in AddEdge.
+func (m *Maintainer) RemoveEdge(u, v int32) (bool, error) {
+	if err := m.validateEdge(u, v); err != nil {
+		return false, fmt.Errorf("dynamic: %w", err)
 	}
 	i, ok := m.find(u, v)
 	if !ok {
-		return false
+		return false, nil
 	}
 	// Clear the similar bit first so simCount bookkeeping stays balanced.
 	m.setSimilar(u, i, false)
@@ -154,7 +163,125 @@ func (m *Maintainer) RemoveEdge(u, v int32) bool {
 	m.remove(v, u)
 	m.edges--
 	m.refreshAround(u, v)
-	return true
+	return true, nil
+}
+
+// validateEdge rejects unknown endpoints and self loops. Unprefixed; the
+// exported entry points wrap with the package context.
+func (m *Maintainer) validateEdge(u, v int32) error {
+	if !m.valid(u) {
+		return fmt.Errorf("vertex %d out of range [0,%d)", u, len(m.adj))
+	}
+	if !m.valid(v) {
+		return fmt.Errorf("vertex %d out of range [0,%d)", v, len(m.adj))
+	}
+	if u == v {
+		return fmt.Errorf("self loop (%d,%d) is not a mutable edge", u, v)
+	}
+	return nil
+}
+
+// validateWeight rejects NaN, infinite, and non-positive weights with the
+// same wording family as the package graph edge-list loader.
+func validateWeight(w float32) error {
+	switch x := float64(w); {
+	case math.IsNaN(x):
+		return errors.New("weight is NaN")
+	case math.IsInf(x, 0):
+		return errors.New("weight is infinite")
+	case w <= 0:
+		return fmt.Errorf("weight %g is not positive (edge weights must be > 0)", w)
+	}
+	return nil
+}
+
+// Op is a batched mutation kind.
+type Op uint8
+
+// Mutation operations: OpAdd inserts the edge or updates its weight when
+// present; OpDelete removes it and is a no-op when absent.
+const (
+	OpAdd Op = iota
+	OpDelete
+)
+
+// Mutation is one edge operation in a batch; W is ignored for OpDelete.
+type Mutation struct {
+	Op   Op
+	U, V int32
+	W    float32
+}
+
+// Apply applies a batch of mutations and then repairs the similarity state
+// once per *touched star* instead of once per mutation: k mutations landing
+// on the same vertex cost one norm recomputation and one star refresh, not
+// k, so batches with endpoint locality (the common streaming shape) do
+// asymptotically less σ work than an AddEdge/RemoveEdge loop — the
+// benchmarks in dynamic_test.go quantify the gap. The batch is atomic:
+// every mutation is validated up front and any invalid one rejects the
+// whole batch before the graph changes. Mutations resolve sequentially
+// (add then delete of the same edge cancels out). Returns the number of
+// mutations that changed the graph.
+func (m *Maintainer) Apply(muts []Mutation) (changed int, err error) {
+	for i := range muts {
+		mu := muts[i]
+		if mu.Op > OpDelete {
+			return 0, fmt.Errorf("dynamic: mutation %d: unknown op %d", i, uint8(mu.Op))
+		}
+		if err := m.validateEdge(mu.U, mu.V); err != nil {
+			return 0, fmt.Errorf("dynamic: mutation %d: %w", i, err)
+		}
+		if mu.Op == OpAdd {
+			if err := validateWeight(mu.W); err != nil {
+				return 0, fmt.Errorf("dynamic: mutation %d: %w", i, err)
+			}
+		}
+	}
+	touched := make(map[int32]struct{})
+	for _, mu := range muts {
+		switch mu.Op {
+		case OpAdd:
+			if i, ok := m.find(mu.U, mu.V); ok {
+				if m.adj[mu.U][i].w == mu.W {
+					continue
+				}
+				m.setWeight(mu.U, mu.V, mu.W)
+			} else {
+				m.insert(mu.U, mu.V, mu.W)
+				m.insert(mu.V, mu.U, mu.W)
+				m.edges++
+			}
+		case OpDelete:
+			i, ok := m.find(mu.U, mu.V)
+			if !ok {
+				continue
+			}
+			m.setSimilar(mu.U, i, false)
+			m.remove(mu.U, mu.V)
+			m.remove(mu.V, mu.U)
+			m.edges--
+		}
+		changed++
+		touched[mu.U] = struct{}{}
+		touched[mu.V] = struct{}{}
+	}
+	if changed == 0 {
+		return 0, nil
+	}
+	stars := make([]int32, 0, len(touched))
+	for v := range touched {
+		stars = append(stars, v)
+	}
+	sort.Slice(stars, func(a, b int) bool { return stars[a] < stars[b] })
+	// All norms first: refreshStar evaluates σ against neighbor norms, so
+	// every touched norm must be final before any star is refreshed.
+	for _, v := range stars {
+		m.recomputeNorm(v)
+	}
+	for _, v := range stars {
+		m.refreshStar(v)
+	}
+	return changed, nil
 }
 
 // valid reports whether v is a known vertex.

@@ -1,7 +1,9 @@
 package dynamic
 
 import (
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -53,8 +55,8 @@ func TestIncrementalInsertions(t *testing.T) {
 		nb, wts := g.Neighbors(v)
 		for i, q := range nb {
 			if v < q {
-				if !m.AddEdge(v, q, wts[i]) {
-					t.Fatalf("AddEdge(%d,%d) rejected", v, q)
+				if ok, err := m.AddEdge(v, q, wts[i]); err != nil || !ok {
+					t.Fatalf("AddEdge(%d,%d) rejected: %v", v, q, err)
 				}
 				added++
 				if added%13 == 0 {
@@ -80,12 +82,12 @@ func TestIncrementalDeletions(t *testing.T) {
 		t.Fatalf("initial clusters = %d, want 2", res.NumClusters)
 	}
 	// Break triangle A: {0,1,2} loses the (0,1) edge → cores collapse.
-	if !m.RemoveEdge(0, 1) {
-		t.Fatal("RemoveEdge(0,1) failed")
+	if ok, err := m.RemoveEdge(0, 1); err != nil || !ok {
+		t.Fatalf("RemoveEdge(0,1) failed: %v", err)
 	}
 	checkAgainstReference(t, m)
 	// Removing a non-existent edge is a no-op.
-	if m.RemoveEdge(0, 1) {
+	if ok, _ := m.RemoveEdge(0, 1); ok {
 		t.Fatal("double-remove succeeded")
 	}
 	// Restore it: the clustering must return to the original.
@@ -127,8 +129,8 @@ func TestRandomChurn(t *testing.T) {
 			case op < 9: // delete
 				i := rng.Intn(len(present))
 				e := present[i]
-				if !m.RemoveEdge(e.u, e.v) {
-					t.Fatalf("seed %d step %d: remove(%d,%d) failed", seed, step, e.u, e.v)
+				if ok, err := m.RemoveEdge(e.u, e.v); err != nil || !ok {
+					t.Fatalf("seed %d step %d: remove(%d,%d) failed: %v", seed, step, e.u, e.v, err)
 				}
 				present[i] = present[len(present)-1]
 				present = present[:len(present)-1]
@@ -174,14 +176,178 @@ func TestRejectsInvalidInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.AddEdge(1, 1, 1) {
+	if _, err := m.AddEdge(1, 1, 1); err == nil {
 		t.Error("self loop accepted")
 	}
-	if m.AddEdge(0, 99, 1) {
+	if _, err := m.AddEdge(0, 99, 1); err == nil {
 		t.Error("out-of-range vertex accepted")
 	}
-	if m.AddEdge(0, 1, -2) {
+	if _, err := m.AddEdge(0, 1, -2); err == nil {
 		t.Error("negative weight accepted")
+	}
+	if _, err := m.RemoveEdge(2, 2); err == nil {
+		t.Error("self-loop remove accepted")
+	}
+	if _, err := m.RemoveEdge(-1, 0); err == nil {
+		t.Error("negative vertex remove accepted")
+	}
+}
+
+// Regression: the old guard !(w > 0) rejected NaN, zero, and negative
+// weights but let +Inf through (Inf > 0 is true), silently corrupting σ
+// norms. Every non-finite weight must now be an explicit error and leave
+// the maintainer untouched.
+func TestWeightValidationErrors(t *testing.T) {
+	m, err := New(4, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := m.AddEdge(0, 1, 1); err != nil || !ok {
+		t.Fatalf("valid AddEdge failed: %v", err)
+	}
+	cases := []struct {
+		w    float32
+		want string
+	}{
+		{float32(math.NaN()), "weight is NaN"},
+		{float32(math.Inf(1)), "weight is infinite"},
+		{float32(math.Inf(-1)), "weight is infinite"},
+		{0, "not positive"},
+		{-3, "not positive"},
+	}
+	for _, tc := range cases {
+		ok, err := m.AddEdge(0, 2, tc.w)
+		if ok || err == nil {
+			t.Fatalf("AddEdge(0,2,%v) accepted", tc.w)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("AddEdge(0,2,%v) error %q, want substring %q", tc.w, err, tc.want)
+		}
+		// Updating an existing edge must hit the same guard.
+		if ok, err := m.AddEdge(0, 1, tc.w); ok || err == nil {
+			t.Fatalf("reweight (0,1,%v) accepted", tc.w)
+		}
+	}
+	if err := m.checkInvariants(); err != nil {
+		t.Fatalf("invariants broken after rejected mutations: %v", err)
+	}
+	if w := m.EdgeWeight(0, 1); w != 1 {
+		t.Fatalf("edge weight corrupted: %v", w)
+	}
+}
+
+// Apply must produce exactly the state of the equivalent one-at-a-time
+// loop, be atomic on invalid input, and do star-local σ work once per
+// touched vertex rather than once per mutation.
+func TestApplyBatch(t *testing.T) {
+	tc := testutil.RandomCases(5)[0]
+	rng := rand.New(rand.NewSource(11))
+	n := int32(tc.G.NumVertices())
+
+	mkBatch := func() []Mutation {
+		muts := make([]Mutation, 0, 24)
+		for i := 0; i < 24; i++ {
+			u, v := rng.Int31n(n), rng.Int31n(n)
+			if u == v {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				muts = append(muts, Mutation{Op: OpDelete, U: u, V: v})
+			} else {
+				muts = append(muts, Mutation{Op: OpAdd, U: u, V: v, W: 0.5 + rng.Float32()})
+			}
+		}
+		return muts
+	}
+
+	batched, err := FromGraph(tc.G, tc.Mu, tc.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looped, err := FromGraph(tc.G, tc.Mu, tc.Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		muts := mkBatch()
+		bChanged, err := batched.Apply(muts)
+		if err != nil {
+			t.Fatalf("round %d: Apply: %v", round, err)
+		}
+		lChanged := 0
+		for _, mu := range muts {
+			var ok bool
+			var err error
+			if mu.Op == OpDelete {
+				ok, err = looped.RemoveEdge(mu.U, mu.V)
+			} else {
+				ok, err = looped.AddEdge(mu.U, mu.V, mu.W)
+			}
+			if err != nil {
+				t.Fatalf("round %d: loop: %v", round, err)
+			}
+			if ok {
+				lChanged++
+			}
+		}
+		if bChanged != lChanged {
+			t.Fatalf("round %d: Apply changed %d, loop changed %d", round, bChanged, lChanged)
+		}
+		if be, le := batched.NumEdges(), looped.NumEdges(); be != le {
+			t.Fatalf("round %d: edges %d vs %d", round, be, le)
+		}
+		if err := batched.checkInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		bres, lres := batched.Result(), looped.Result()
+		for v := 0; v < bres.N(); v++ {
+			if bres.Roles[v] != lres.Roles[v] || bres.Labels[v] != lres.Labels[v] {
+				t.Fatalf("round %d vertex %d: batched (%v,%d) vs loop (%v,%d)",
+					round, v, bres.Roles[v], bres.Labels[v], lres.Roles[v], lres.Labels[v])
+			}
+		}
+		checkAgainstReference(t, batched)
+	}
+
+	// Atomicity: one bad mutation rejects the whole batch with no change.
+	before := batched.NumEdges()
+	evals := batched.SimEvals
+	_, err = batched.Apply([]Mutation{
+		{Op: OpAdd, U: 0, V: 1, W: 1},
+		{Op: OpAdd, U: 0, V: 2, W: float32(math.Inf(1))},
+	})
+	if err == nil {
+		t.Fatal("batch with infinite weight accepted")
+	}
+	if batched.NumEdges() != before || batched.SimEvals != evals {
+		t.Fatal("rejected batch mutated state")
+	}
+	if err := batched.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Locality: a batch of k mutations sharing one endpoint refreshes that
+	// star once, so it must cost strictly fewer σ evaluations than the
+	// one-at-a-time loop on the same mutations.
+	hub := int32(0)
+	var muts []Mutation
+	for q := int32(1); q <= 12; q++ {
+		muts = append(muts, Mutation{Op: OpAdd, U: hub, V: q % n, W: 2})
+	}
+	b2, _ := FromGraph(tc.G, tc.Mu, tc.Eps)
+	l2, _ := FromGraph(tc.G, tc.Mu, tc.Eps)
+	b0 := b2.SimEvals
+	if _, err := b2.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
+	l0 := l2.SimEvals
+	for _, mu := range muts {
+		if _, err := l2.AddEdge(mu.U, mu.V, mu.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bEvals, lEvals := b2.SimEvals-b0, l2.SimEvals-l0; bEvals >= lEvals {
+		t.Fatalf("batched σ work %d not below loop %d", bEvals, lEvals)
 	}
 }
 
@@ -202,7 +368,7 @@ func TestMaintenanceIsLocal(t *testing.T) {
 		}
 		before := m.SimEvals
 		du, dv := m.Degree(u), m.Degree(v)
-		if !m.AddEdge(u, v, 1) {
+		if ok, _ := m.AddEdge(u, v, 1); !ok {
 			continue
 		}
 		evals := m.SimEvals - before

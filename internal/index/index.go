@@ -208,6 +208,20 @@ func (x *Index) Sigma(arc int64) float64 { return x.sigma[arc] }
 // to derive a μ-fixed Explorer without a second similarity pass.
 func (x *Index) ArcSigmas() []float64 { return x.sigma }
 
+// NeighborOrder returns v's σ-sorted neighbor order: neighbor ids sorted by
+// σ descending (ties by id ascending) and the parallel activation thresholds.
+// The slices alias the index's backing storage — callers must treat them as
+// read-only. Package live uses them to seed epoch 0 of a mutable graph
+// without copying the index.
+func (x *Index) NeighborOrder(v int32) (ids []int32, sigs []float64) {
+	lo, hi := x.g.NeighborRange(v)
+	return x.nbr[lo:hi], x.nbrSig[lo:hi]
+}
+
+// Threads returns the worker count the index was built with (what Build was
+// given, normalized at the par layer when 0).
+func (x *Index) Threads() int { return x.threads }
+
 // CoreThreshold returns the largest ε at which v is a core at the given μ
 // (0 = never a core). O(1): the (μ-1)-th largest σ among v's arcs, read off
 // the sorted neighbor order; σ(v,v)=1 supplies v's own membership.

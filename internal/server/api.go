@@ -217,7 +217,10 @@ type QueryResponse struct {
 	// was shed, so the response was served from the last good index (which
 	// may describe an older generation of the graph). The response also
 	// carries an X-Anyscan-Stale: 1 header.
-	Stale   bool    `json:"stale,omitempty"`
+	Stale bool `json:"stale,omitempty"`
+	// Epoch is the live-graph epoch the answer was computed on; present only
+	// for graphs that have been mutated (see POST /v1/graphs/{name}/edges).
+	Epoch   int64   `json:"epoch,omitempty"`
 	BuildMS float64 `json:"build_ms,omitempty"` // index build time (cache miss only)
 	QueryMS float64 `json:"query_ms"`
 	ClusteringPayload
@@ -240,6 +243,39 @@ type SweepPoint struct {
 //
 // Deprecated: use QueryResponse.
 type SweepResponse = QueryResponse
+
+// MutationSpec is one edge mutation of a MutateRequest. Op is "add" (insert
+// the edge, or update its weight when present), "delete" (idempotent), or
+// "reweight" (errors when the edge is absent). Endpoints are unordered; w is
+// ignored for deletes.
+type MutationSpec struct {
+	Op string  `json:"op"`
+	U  int32   `json:"u"`
+	V  int32   `json:"v"`
+	W  float32 `json:"w,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/graphs/{name}/edges: one batch of
+// edge mutations, applied atomically (any invalid mutation rejects the whole
+// batch before any state changes).
+type MutateRequest struct {
+	Mutations []MutationSpec `json:"mutations"`
+}
+
+// MutateResponse reports one applied batch. Epoch is the read-your-writes
+// token: a GET /v1/query with ?min_epoch=<Epoch> is guaranteed to observe
+// this batch (or later state). A batch whose net effect was nothing returns
+// the unchanged current epoch with Applied == 0.
+type MutateResponse struct {
+	Graph           string  `json:"graph"`
+	Epoch           int64   `json:"epoch"`
+	Applied         int     `json:"applied"`
+	NoOps           int     `json:"noops"`
+	Vertices        int     `json:"vertices"`
+	Edges           int64   `json:"edges"`
+	PublishMS       float64 `json:"publish_ms"`
+	SigmaRecomputed int64   `json:"sigma_recomputed"`
+}
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {

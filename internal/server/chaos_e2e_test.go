@@ -12,6 +12,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -454,6 +455,188 @@ func TestE2ENoGoroutineLeaks(t *testing.T) {
 	}()
 	// Everything is drained and closed; in-flight builds and handler
 	// teardown may need a moment, so poll back down to the baseline.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	n := runtime.NumGoroutine()
+	pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+	t.Fatalf("goroutines: baseline %d, now %d — see stack dump above", baseline, n)
+}
+
+// TestE2EMutateUnderLoadStorm storms a tightly-provisioned server with
+// concurrent batch mutations, read-your-writes queries chasing the newest
+// epoch, and deliberately abandoned ?min_epoch= waiters whose deadlines
+// expire before the epoch they demand could ever exist. The contract under
+// test: mutations serialize through admission control without wedging it
+// (the queue drains to zero), abandoned waiters release promptly and hold no
+// admission slot while parked, every successfully-published epoch stays
+// readable, and the process returns to its goroutine baseline on teardown.
+func TestE2EMutateUnderLoadStorm(t *testing.T) {
+	runtime.GC()
+	time.Sleep(100 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		path, g := genGraphFile(t, 8000, 23)
+		n := int32(g.NumVertices())
+		srv, err := server.New(server.Config{
+			Manager: server.ManagerConfig{Workers: 1},
+			Overload: server.OverloadConfig{
+				BuildSlots: 1,
+				QueueDepth: 8,
+				QueueWait:  2 * time.Second,
+			},
+			Logger: quietLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		tr := &http.Transport{}
+		c := server.NewClient(ts.URL)
+		c.HTTP = &http.Client{Transport: tr}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Drain(ctx)
+			ts.Close()
+			tr.CloseIdleConnections()
+		}()
+		if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{Name: "g", GraphSource: server.GraphSource{Path: path}}); err != nil {
+			t.Fatal(err)
+		}
+
+		// maxEpoch tracks the newest epoch any mutator saw published; readers
+		// chase it with min_epoch so every observation is read-your-writes.
+		var maxEpoch atomic.Int64
+		var mutated, shed atomic.Int64
+		var wg sync.WaitGroup
+		for m := 0; m < 3; m++ {
+			wg.Add(1)
+			go func(m int) {
+				defer wg.Done()
+				for b := 0; b < 5; b++ {
+					// Deterministic per-goroutine batches: adds (upserts) and
+					// idempotent deletes only, so a retried or reordered batch
+					// can never fail validation.
+					muts := make([]server.MutationSpec, 0, 8)
+					for i := 0; i < 8; i++ {
+						u := int32((m*2617 + b*911 + i*389) % int(n))
+						v := int32((m*1201 + b*577 + i*97 + 1) % int(n))
+						if u == v {
+							v = (v + 1) % n
+						}
+						if i%3 == 0 {
+							muts = append(muts, server.MutationSpec{Op: "delete", U: u, V: v})
+						} else {
+							muts = append(muts, server.MutationSpec{Op: "add", U: u, V: v, W: 0.5 + float32(i)*0.1})
+						}
+					}
+					mr, err := c.Mutate(tctx, "g", muts)
+					if err != nil {
+						// Admission may shed under the storm; that is the
+						// overload contract working, not a failure.
+						shed.Add(1)
+						continue
+					}
+					mutated.Add(1)
+					for {
+						cur := maxEpoch.Load()
+						if mr.Epoch <= cur || maxEpoch.CompareAndSwap(cur, mr.Epoch) {
+							break
+						}
+					}
+				}
+			}(m)
+		}
+		// Readers chase the published frontier with read-your-writes bounds.
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					min := maxEpoch.Load()
+					qr, err := c.QueryEpoch(tctx, "g", 4, 0.4, min, false)
+					if err != nil {
+						continue // shed under load; retried next round
+					}
+					if min > 0 && qr.Epoch < min {
+						t.Errorf("read-your-writes violated: answered epoch %d < demanded %d", qr.Epoch, min)
+						return
+					}
+				}
+			}()
+		}
+		// Abandoned waiters: each demands an epoch nobody will publish with a
+		// 50ms budget. They must come back 503 promptly (WaitEpoch parks
+		// without holding admission resources) and leave nothing behind.
+		raw := &http.Client{Timeout: 10 * time.Second}
+		defer raw.CloseIdleConnections()
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Wait until the graph is live (first epoch published);
+				// before that, min_epoch is a 409, not a parked waiter.
+				for deadline := time.Now().Add(10 * time.Second); maxEpoch.Load() == 0; {
+					if time.Now().After(deadline) {
+						return // every batch shed; the mutated==0 check below reports it
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				resp, err := raw.Get(ts.URL + "/v1/query?graph=g&mu=4&eps=0.4&min_epoch=100000&timeout_ms=50")
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("abandoned min_epoch waiter got %d, want 503", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+
+		if mutated.Load() == 0 {
+			t.Fatalf("every mutation batch was shed (%d attempts); storm proved nothing", shed.Load())
+		}
+		// The frontier epoch stays readable after the storm.
+		final := maxEpoch.Load()
+		qr, err := c.QueryEpoch(tctx, "g", 4, 0.4, final, false)
+		if err != nil {
+			t.Fatalf("frontier epoch %d unreadable after the storm: %v", final, err)
+		}
+		if qr.Epoch < final {
+			t.Fatalf("final answer from epoch %d < frontier %d", qr.Epoch, final)
+		}
+		// Admission drains: nothing stays parked in the queue once the storm
+		// has passed.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			txt, err := c.MetricsText(tctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(txt, "anyscand_admission_queue_depth 0") {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("admission queue did not drain to 0 after the storm")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	// Teardown done; poll back to the goroutine baseline — abandoned epoch
+	// waiters and shed mutators must all have unwound.
 	deadline := time.Now().Add(15 * time.Second)
 	for {
 		runtime.GC()

@@ -362,17 +362,37 @@ func (c *Client) WaitJob(ctx context.Context, id string) (JobStatus, error) {
 
 // Query runs an interactive clustering query against GET /v1/query and
 // returns the exact clustering at (μ, ε), served from the graph's query
-// index.
+// index (or its current live epoch once the graph has been mutated).
 func (c *Client) Query(ctx context.Context, graphName string, mu int, eps float64, withAssignments bool) (QueryResponse, error) {
+	return c.QueryEpoch(ctx, graphName, mu, eps, 0, withAssignments)
+}
+
+// QueryEpoch is Query with a read-your-writes bound: with minEpoch > 0 the
+// server answers from a live epoch whose sequence number is at least
+// minEpoch, waiting (up to the request deadline) for a writer to publish it.
+// Pass the Epoch token a Mutate call returned to observe that write.
+func (c *Client) QueryEpoch(ctx context.Context, graphName string, mu int, eps float64, minEpoch int64, withAssignments bool) (QueryResponse, error) {
 	var resp QueryResponse
 	q := url.Values{}
 	q.Set("graph", graphName)
 	q.Set("mu", strconv.Itoa(mu))
 	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	if minEpoch > 0 {
+		q.Set("min_epoch", strconv.FormatInt(minEpoch, 10))
+	}
 	if withAssignments {
 		q.Set("assignments", "1")
 	}
 	err := c.do(ctx, http.MethodGet, "/v1/query?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// Mutate applies one batch of edge mutations to a graph via POST
+// /v1/graphs/{name}/edges, returning the epoch token the batch published.
+func (c *Client) Mutate(ctx context.Context, graphName string, muts []MutationSpec) (MutateResponse, error) {
+	var resp MutateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(graphName)+"/edges",
+		MutateRequest{Mutations: muts}, &resp)
 	return resp, err
 }
 

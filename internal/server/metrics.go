@@ -30,6 +30,10 @@ type Metrics struct {
 	QueryUS       atomic.Int64 // wall time spent answering queries (µs)
 	IndexEvicted  atomic.Int64 // indexes dropped by the memory budget
 
+	MutationsTotal  atomic.Int64 // edge mutations accepted via POST /graphs/{name}/edges
+	EpochsPublished atomic.Int64 // live-graph epochs published (effective batches)
+	EpochPublishUS  atomic.Int64 // wall time from entering Apply to epoch visibility (µs)
+
 	AdmissionAdmitted atomic.Int64 // heavy work admitted through the semaphore
 	AdmissionQueued   atomic.Int64 // admissions that waited in the bounded queue
 	AdmissionShed     atomic.Int64 // heavy work refused (queue full / timed out)
@@ -96,6 +100,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 	counter("anyscand_rate_limited_total", "Requests refused by per-client rate limits.", m.RateLimited.Load())
 	counter("anyscand_stale_served_total", "Queries answered from a stale index in degraded mode.", m.StaleServed.Load())
 	counter("anyscand_deadline_exceeded_total", "Requests cut short by their deadline.", m.DeadlineExceeded.Load())
+	counter("anyscand_mutations_total", "Edge mutations accepted on live graphs.", m.MutationsTotal.Load())
+	fmt.Fprintf(w, "# HELP anyscand_epoch_publish_seconds Time from entering Apply to the new epoch being visible to readers.\n# TYPE anyscand_epoch_publish_seconds summary\nanyscand_epoch_publish_seconds_sum %g\nanyscand_epoch_publish_seconds_count %d\n",
+		float64(m.EpochPublishUS.Load())/1e6, m.EpochsPublished.Load())
 	fmt.Fprintf(w, "# HELP anyscand_index_build_ms_total Wall time spent building query indexes.\n# TYPE anyscand_index_build_ms_total counter\nanyscand_index_build_ms_total %g\n",
 		float64(m.IndexBuildUS.Load())/1000)
 	fmt.Fprintf(w, "# HELP anyscand_query_ms_total Wall time spent answering interactive queries.\n# TYPE anyscand_query_ms_total counter\nanyscand_query_ms_total %g\n",

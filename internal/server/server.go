@@ -95,15 +95,16 @@ func (c OverloadConfig) withDefaults() OverloadConfig {
 // Server wires the graph registry, the job manager, and the per-graph query
 // index cache behind an http.Handler.
 type Server struct {
-	reg     *Registry
-	jobs    *Manager
-	idx     *indexCache
-	met     *Metrics
-	log     *slog.Logger
-	mux     *http.ServeMux
-	admit   *admission
-	limiter *rateLimiter
-	ocfg    OverloadConfig
+	reg        *Registry
+	jobs       *Manager
+	idx        *indexCache
+	liveGraphs *liveCache
+	met        *Metrics
+	log        *slog.Logger
+	mux        *http.ServeMux
+	admit      *admission
+	limiter    *rateLimiter
+	ocfg       OverloadConfig
 }
 
 // New builds a Server, recovering any unfinished jobs from the checkpoint
@@ -127,16 +128,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	ocfg := cfg.Overload.withDefaults()
 	admit := newAdmission(ocfg.BuildSlots, ocfg.QueueDepth, ocfg.QueueWait, met)
+	idx := newIndexCache(met, threads, admit, ocfg.IndexMemoryBudget)
 	s := &Server{
-		reg:     reg,
-		jobs:    jobs,
-		idx:     newIndexCache(met, threads, admit, ocfg.IndexMemoryBudget),
-		met:     met,
-		log:     cfg.Logger,
-		mux:     http.NewServeMux(),
-		admit:   admit,
-		limiter: newRateLimiter(ocfg.RatePerSec, ocfg.RateBurst),
-		ocfg:    ocfg,
+		reg:        reg,
+		jobs:       jobs,
+		idx:        idx,
+		liveGraphs: newLiveCache(idx),
+		met:        met,
+		log:        cfg.Logger,
+		mux:        http.NewServeMux(),
+		admit:      admit,
+		limiter:    newRateLimiter(ocfg.RatePerSec, ocfg.RateBurst),
+		ocfg:       ocfg,
 	}
 	s.routes()
 	return s, nil
@@ -178,6 +181,7 @@ func (s *Server) routes() {
 	handle("POST /graphs", heavy(s.handleLoadGraph))
 	handle("GET /graphs", light(s.handleListGraphs))
 	handle("DELETE /graphs/{name}", light(s.handleEvictGraph))
+	handle("POST /graphs/{name}/edges", heavy(s.handleMutate))
 
 	handle("POST /jobs", light(s.handleSubmitJob))
 	handle("GET /jobs", light(s.handleListJobs))
@@ -366,6 +370,7 @@ func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.idx.evictGraph(name)
+	s.liveGraphs.evictGraph(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -483,6 +488,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
+	minEpoch, err := parseMinEpoch(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
 	raw := q.Get("eps")
 	if raw != "" && !strings.Contains(raw, ",") {
@@ -491,7 +501,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", raw))
 			return
 		}
-		s.serveClustering(w, r, ge, mu, eps)
+		s.serveClustering(w, r, ge, mu, eps, minEpoch)
 		return
 	}
 
@@ -514,15 +524,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.serveProfile(w, r, ge, mu, epsValues, limit)
+	s.serveProfile(w, r, ge, mu, epsValues, limit, minEpoch)
 }
 
 // serveClustering answers one (μ, ε) clustering, degrading to the last good
 // index — explicitly marked stale — when the fresh build fails or is shed.
-func (s *Server) serveClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps float64) {
-	resp, code, err := s.queryClustering(r.Context(), ge, mu, eps, wantAssignments(r))
+// Read-your-writes requests (minEpoch > 0) never degrade: a stale answer
+// would silently violate the very guarantee the client asked for.
+func (s *Server) serveClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps float64, minEpoch int64) {
+	resp, code, err := s.queryClustering(r.Context(), ge, mu, eps, minEpoch, wantAssignments(r))
 	if err != nil {
-		if s.degradeClustering(w, r, ge, mu, eps, err) {
+		if minEpoch == 0 && s.degradeClustering(w, r, ge, mu, eps, err) {
 			return
 		}
 		s.countDeadline(err)
@@ -582,8 +594,19 @@ func (s *Server) countDeadline(err error) {
 	}
 }
 
-// queryClustering answers one (μ, ε) clustering from the graph's index.
-func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, eps float64, withAssignments bool) (QueryResponse, int, error) {
+// queryClustering answers one (μ, ε) clustering. Graphs with live epoch
+// chains (mutated via POST /graphs/{name}/edges) are served from the current
+// epoch so mutations are visible; everything else takes the immutable-index
+// path. A minEpoch bound on an unmutated graph is a 409: no epoch chain
+// exists that could ever satisfy it.
+func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, eps float64, minEpoch int64, withAssignments bool) (QueryResponse, int, error) {
+	if lg, ok := s.liveGraphs.lookup(ge.Name, ge.G); ok {
+		return s.liveClustering(ctx, ge, lg, mu, eps, minEpoch, withAssignments)
+	}
+	if minEpoch > 0 {
+		return QueryResponse{}, http.StatusConflict,
+			fmt.Errorf("graph %q has no live epochs; min_epoch requires a mutated graph", ge.Name)
+	}
 	idx, hit, buildMS, err := s.idx.get(ctx, ge)
 	if err != nil {
 		return QueryResponse{}, http.StatusBadRequest, err
@@ -620,8 +643,8 @@ func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, ep
 // serveProfile answers the profile form, falling back to a stale-derived
 // explorer only implicitly (profiles are summaries; degraded mode serves
 // clusterings, which carry the stale marker end-to-end).
-func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, epsValues []float64, limit int) {
-	resp, code, err := s.queryProfile(r.Context(), ge, mu, epsValues, limit)
+func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, epsValues []float64, limit int, minEpoch int64) {
+	resp, code, err := s.queryProfile(r.Context(), ge, mu, epsValues, limit, minEpoch)
 	if err != nil {
 		s.countDeadline(err)
 		writeError(w, code, err)
@@ -632,8 +655,16 @@ func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, ge *GraphE
 
 // queryProfile answers a multi-ε profile for one μ via the explorer derived
 // from the graph's index (no σ work). An empty epsValues list probes up to
-// limit interesting thresholds.
-func (s *Server) queryProfile(ctx context.Context, ge *GraphEntry, mu int, epsValues []float64, limit int) (QueryResponse, int, error) {
+// limit interesting thresholds. Live graphs are routed to per-epoch queries
+// instead (explorers would go stale on every publish).
+func (s *Server) queryProfile(ctx context.Context, ge *GraphEntry, mu int, epsValues []float64, limit int, minEpoch int64) (QueryResponse, int, error) {
+	if lg, ok := s.liveGraphs.lookup(ge.Name, ge.G); ok {
+		return s.liveProfile(ctx, ge, lg, mu, epsValues, minEpoch)
+	}
+	if minEpoch > 0 {
+		return QueryResponse{}, http.StatusConflict,
+			fmt.Errorf("graph %q has no live epochs; min_epoch requires a mutated graph", ge.Name)
+	}
 	ex, hit, buildMS, err := s.idx.explorer(ctx, ge, mu)
 	if err != nil {
 		return QueryResponse{}, http.StatusBadRequest, err
@@ -677,7 +708,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	s.serveClustering(w, r, ge, mu, eps)
+	s.serveClustering(w, r, ge, mu, eps, 0)
 }
 
 // handleSweep answers the deprecated GET /sweep endpoint (now an alias of
@@ -713,14 +744,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.serveProfile(w, r, ge, mu, epsValues, limit)
+	s.serveProfile(w, r, ge, mu, epsValues, limit, 0)
 }
 
 // --- observability --------------------------------------------------------
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counts := s.jobs.CountByState()
+	liveGraphs, epochLag := s.liveGraphs.stats()
 	gauges := []Gauge{
+		{"anyscand_live_graphs", "Graphs with a live mutable epoch chain.", float64(liveGraphs)},
+		{"anyscand_epoch_lag", "Largest gap between a demanded epoch and the newest published one.", float64(epochLag)},
 		{"anyscand_graphs_loaded", "Graphs resident in the registry.", float64(s.reg.Len())},
 		{"anyscand_indexes_cached", "Query indexes resident in the cache.", float64(s.idx.size())},
 		{"anyscand_index_cache_hit_rate", "Query-index cache hit rate.", s.met.IndexHitRate()},

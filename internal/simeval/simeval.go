@@ -265,21 +265,7 @@ func Crossing(num, denom float64) float64 {
 func (e *Engine) openDot(p, q int32) float64 {
 	pAdj, pW := e.G.Neighbors(p)
 	qAdj, qW := e.G.Neighbors(q)
-	var acc float64
-	i, j := 0, 0
-	for i < len(pAdj) && j < len(qAdj) {
-		switch {
-		case pAdj[i] < qAdj[j]:
-			i++
-		case pAdj[i] > qAdj[j]:
-			j++
-		default:
-			acc += float64(pW[i]) * float64(qW[j])
-			i++
-			j++
-		}
-	}
-	return acc
+	return mergeDotSlices(pAdj, pW, qAdj, qW)
 }
 
 // closedDot returns the closed-neighborhood numerator. The skip arguments

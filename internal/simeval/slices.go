@@ -1,0 +1,65 @@
+package simeval
+
+// Slice-based join kernels. These operate on raw sorted adjacency slices
+// (ids ascending, weights parallel) rather than a *graph.CSR, so callers that
+// maintain their own adjacency storage — package live's copy-on-write epoch
+// segments in particular — evaluate σ numerators with the exact kernels the
+// static engines use. Every kernel accumulates common-neighbor products in
+// ascending neighbor-id order with the float expression of the sort-merge
+// join, so the results are bit-identical to Engine.openDot and the
+// WorkerEngine adaptive kernels.
+
+// SliceDot returns Σ w_pr·w_qr over the common ids of the two sorted
+// adjacency slices (the open-neighborhood dot product), choosing the
+// merge-join or gallop kernel from the length ratio exactly as the
+// WorkerEngine does. Bit-identical to Engine.openDot on equivalent input.
+func SliceDot(pAdj []int32, pW []float32, qAdj []int32, qW []float32) float64 {
+	if len(pAdj) >= gallopRatio*len(qAdj) || len(qAdj) >= gallopRatio*len(pAdj) {
+		return gallopDotSlices(pAdj, pW, qAdj, qW)
+	}
+	return mergeDotSlices(pAdj, pW, qAdj, qW)
+}
+
+// mergeDotSlices is the classic ascending-id sort-merge join.
+func mergeDotSlices(pAdj []int32, pW []float32, qAdj []int32, qW []float32) float64 {
+	var acc float64
+	i, j := 0, 0
+	for i < len(pAdj) && j < len(qAdj) {
+		switch {
+		case pAdj[i] < qAdj[j]:
+			i++
+		case pAdj[i] > qAdj[j]:
+			j++
+		default:
+			acc += float64(pW[i]) * float64(qW[j])
+			i++
+			j++
+		}
+	}
+	return acc
+}
+
+// gallopDotSlices scans the shorter list and gallops through the longer one.
+// Matches surface in ascending id order, so the accumulation order (and hence
+// the float result) matches mergeDotSlices exactly.
+func gallopDotSlices(pAdj []int32, pW []float32, qAdj []int32, qW []float32) float64 {
+	sAdj, sW := pAdj, pW
+	lAdj, lW := qAdj, qW
+	if len(sAdj) > len(lAdj) {
+		sAdj, lAdj = lAdj, sAdj
+		sW, lW = lW, sW
+	}
+	dot := 0.0
+	j := 0
+	for i := 0; i < len(sAdj); i++ {
+		j = gallopSearch(lAdj, j, sAdj[i])
+		if j >= len(lAdj) {
+			break
+		}
+		if lAdj[j] == sAdj[i] {
+			dot += float64(sW[i]) * float64(lW[j])
+			j++
+		}
+	}
+	return dot
+}

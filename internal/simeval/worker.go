@@ -279,25 +279,9 @@ func (we *WorkerEngine) gallopThreshold(p, q int32, selfTerms, threshold float64
 
 // gallopDot is gallopThreshold without the exits.
 func gallopDot(g *graph.CSR, p, q int32) float64 {
-	sAdj, sW := g.Neighbors(p)
-	lAdj, lW := g.Neighbors(q)
-	if len(sAdj) > len(lAdj) {
-		sAdj, lAdj = lAdj, sAdj
-		sW, lW = lW, sW
-	}
-	dot := 0.0
-	j := 0
-	for i := 0; i < len(sAdj); i++ {
-		j = gallopSearch(lAdj, j, sAdj[i])
-		if j >= len(lAdj) {
-			break
-		}
-		if lAdj[j] == sAdj[i] {
-			dot += float64(sW[i]) * float64(lW[j])
-			j++
-		}
-	}
-	return dot
+	pAdj, pW := g.Neighbors(p)
+	qAdj, qW := g.Neighbors(q)
+	return gallopDotSlices(pAdj, pW, qAdj, qW)
 }
 
 // gallopSearch returns the smallest index k ≥ lo with a[k] ≥ target
