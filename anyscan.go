@@ -45,9 +45,21 @@ import (
 	"anyscan/internal/simeval"
 )
 
-// Graph is a weighted undirected graph in CSR form; build one with a
+// Graph is a weighted undirected graph in flat CSR form; build one with a
 // Builder, a generator from the gen tooling, or the edge-list loaders.
 type Graph = graph.CSR
+
+// GraphView is the read interface every graph storage backend satisfies:
+// the flat *Graph and the varint-compressed *CompressedGraph (possibly
+// mmap-backed from a .csrz file). Every clustering entry point that only
+// reads adjacency takes a GraphView; pass either backend.
+type GraphView = graph.Graph
+
+// CompressedGraph is the varint-delta compressed CSR backend: 2-4x smaller
+// than the flat form, read-only, and mmap-backed when opened from a .csrz
+// file so graphs larger than RAM can be served. Build one with CompressGraph
+// or open one with OpenCompressedGraphFile / LoadGraph.
+type CompressedGraph = graph.CompressedCSR
 
 // Builder accumulates edges and produces an immutable Graph.
 type Builder = graph.Builder
@@ -148,7 +160,8 @@ func ParseAlgorithm(s string) (Algorithm, error) { return scan.ParseAlgorithm(s)
 // algorithms produce equivalent clusterings (identical cores, core
 // partition, and noise); they differ only in how much similarity work they
 // spend. For repeated queries on one graph, build a query Index instead.
-func Batch(g *Graph, algo Algorithm, q Query) (*Result, BatchMetrics, error) {
+// Any backend works; SCAN++ and pSCAN materialize a compressed g internally.
+func Batch(g GraphView, algo Algorithm, q Query) (*Result, BatchMetrics, error) {
 	return scan.Batch(g, algo, q)
 }
 
@@ -156,13 +169,13 @@ func Batch(g *Graph, algo Algorithm, q Query) (*Result, BatchMetrics, error) {
 // to weighted graphs. Exact but evaluates 2|E| similarities.
 //
 // Deprecated: use Batch(g, AlgoSCAN, Query{Mu: mu, Eps: eps}).
-func SCAN(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCAN(g, mu, eps) }
+func SCAN(g GraphView, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCAN(g, mu, eps) }
 
 // SCANB runs SCAN-B: SCAN plus the Lemma-5 pruning and early-exit
 // optimizations (Section III-D of the paper).
 //
 // Deprecated: use Batch(g, AlgoSCANB, Query{Mu: mu, Eps: eps}).
-func SCANB(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCANB(g, mu, eps) }
+func SCANB(g GraphView, mu int, eps float64) (*Result, BatchMetrics) { return scan.SCANB(g, mu, eps) }
 
 // PSCAN runs pSCAN (Chang et al., ICDE 2016), the strongest exact
 // sequential competitor.
@@ -181,7 +194,7 @@ func SCANPP(g *Graph, mu int, eps float64) (*Result, BatchMetrics) { return scan
 //
 // Deprecated: use Batch(g, AlgoParallelSCAN, Query{Mu: mu, Eps: eps,
 // Threads: threads}).
-func ParallelSCAN(g *Graph, mu int, eps float64, threads int) (*Result, BatchMetrics) {
+func ParallelSCAN(g GraphView, mu int, eps float64, threads int) (*Result, BatchMetrics) {
 	return scan.ParallelSCAN(g, mu, eps, threads)
 }
 
@@ -240,10 +253,48 @@ func LoadMETIS(r io.Reader) (*Graph, error) { return graph.LoadMETIS(r) }
 // ReadBinary deserializes a graph written with Graph.WriteBinary.
 func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
-// LoadGraphFile loads a graph choosing the format from the file extension:
-// ".metis"/".graph" → METIS, ".bin" → the compact binary container,
-// anything else → whitespace edge list (with id remapping; the returned id
-// slice is non-nil only in that case).
+// LoadGraph loads a graph choosing the backend and format from the file
+// extension: ".csrz" → the compressed container, opened mmap-backed (the
+// returned GraphView is a *CompressedGraph and the file must outlive it);
+// ".metis"/".graph" → METIS; ".bin" → the compact binary container; anything
+// else → whitespace edge list (with id remapping; the returned id slice is
+// non-nil only in that case). Use MaterializeGraph when a flat *Graph is
+// required afterwards.
+func LoadGraph(path string) (GraphView, []int64, error) {
+	return graph.LoadAny(path)
+}
+
+// CompressGraph encodes g into the compressed backend (varint byte-delta
+// neighbor lists; weights dropped entirely when all are 1). The result
+// yields byte-identical clusterings to g on every entry point that takes a
+// GraphView.
+func CompressGraph(g *Graph) *CompressedGraph { return graph.Compress(g) }
+
+// MaterializeGraph converts any backend to a flat *Graph: a *Graph is
+// returned as-is, a *CompressedGraph is decompressed. Needed for the
+// mutation APIs and the arc-indexed batch algorithms (SCAN++, pSCAN).
+func MaterializeGraph(g GraphView) *Graph { return graph.Materialize(g) }
+
+// OpenCompressedGraphFile opens a .csrz container written with
+// WriteCompressedGraphFile, mmap-backed: adjacency stays on disk and pages
+// in on demand, so graphs larger than RAM can be queried. With verifyCRC the
+// whole payload is checksummed up front (one sequential read of the file).
+func OpenCompressedGraphFile(path string, verifyCRC bool) (*CompressedGraph, error) {
+	return graph.OpenCompressedFile(path, graph.CompressedOpenOptions{VerifyCRC: verifyCRC})
+}
+
+// WriteCompressedGraphFile compresses g and writes it to path atomically as
+// a framed, CRC-checked .csrz container.
+func WriteCompressedGraphFile(g *Graph, path string) error {
+	return graph.Compress(g).WriteCompressedFile(path)
+}
+
+// LoadGraphFile loads a flat graph choosing the format from the file
+// extension (".metis"/".graph", ".bin", or edge list; a ".csrz" container is
+// decompressed to flat form).
+//
+// Deprecated: use LoadGraph, which keeps .csrz containers mmap-backed
+// instead of decompressing them.
 func LoadGraphFile(path string) (*Graph, []int64, error) {
 	return graph.LoadFile(path)
 }

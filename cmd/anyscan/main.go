@@ -30,7 +30,8 @@
 //	anyscan -input big.bin -resume run.ckpt
 //
 // Input formats by extension: .metis/.graph (METIS), .bin (binary
-// container), anything else (whitespace edge list, '#' comments).
+// container), .csrz (compressed container, see "anyscan graph convert"),
+// anything else (whitespace edge list, '#' comments).
 package main
 
 import (
@@ -59,6 +60,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "index" {
 		indexMain(os.Args[2:])
+		return
+	}
+	// "anyscan graph <verb>" converts and inspects graph storage formats,
+	// including the compressed .csrz container (see graph.go).
+	if len(os.Args) > 1 && os.Args[1] == "graph" {
+		graphMain(os.Args[2:])
 		return
 	}
 	input := flag.String("input", "", "graph file to cluster (.metis/.graph, .bin, or edge list)")

@@ -55,6 +55,7 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client rate-limit burst (0 = 2x rate)")
 	indexBudgetMB := flag.Int64("index-memory-budget-mb", 0, "resident query-index memory budget in MiB; LRU-evicted above it (0 = unlimited)")
+	graphFormat := flag.String("graph-format", "", "storage backend for preloaded graphs: csr (flat, default) or compressed (varint; .csrz files stay mmap-backed)")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "graph to load at startup: PATH, name=NAME:PATH, or dataset:NAME (repeatable)")
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "anyscand:", err)
 			os.Exit(1)
 		}
+		src.Format = *graphFormat
 		e, err := srv.Registry().Load(name, src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anyscand:", err)

@@ -35,6 +35,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write a machine-readable BENCH_<date>.json (dataset × algorithm × threads: wall time, σ evaluations; plus query-index build time and per-(μ,ε) query latencies)")
 	jsonPath := flag.String("json-out", "", "path for the -json report (default BENCH_<date>.json)")
 	jsonSets := flag.String("json-datasets", "", "comma-separated datasets for the -json report (default: the Table I stand-ins)")
+	format := flag.String("format", "csr", "graph storage backend for the -json index rows: csr | compressed")
 	goBench := flag.String("gobench", "", "also render the -json report in `go test -bench` format to this path (benchstat-compatible)")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json reports: benchrunner -compare old.json new.json")
 	flag.Parse()
@@ -71,6 +72,13 @@ func main() {
 
 	cfg.Scale, cfg.Mu, cfg.Eps, cfg.Alpha, cfg.Beta = *scale, *mu, *eps, *alpha, *beta
 	cfg.Relabel = *relabel
+	switch *format {
+	case "", bench.FormatCSR, bench.FormatCompressed:
+		cfg.Format = *format
+	default:
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown -format %q (have csr, compressed)\n", *format)
+		os.Exit(2)
+	}
 	cfg.Threads = cfg.Threads[:0]
 	for _, part := range strings.Split(*threads, ",") {
 		t, err := strconv.Atoi(strings.TrimSpace(part))

@@ -33,7 +33,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (dataset)")
 	seed := flag.Int64("seed", 1, "random seed")
 	weighted := flag.Bool("weighted", false, "uniform edge weights in [0.5, 1.5] instead of 1")
-	out := flag.String("o", "", "output path (.bin → binary container, else edge list); empty = stats only")
+	out := flag.String("o", "", "output path (.csrz → compressed container, .bin → binary container, else edge list); empty = stats only")
+	format := flag.String("format", "", "force the output container: csr (flat .bin semantics) or compressed (.csrz), overriding the extension")
 	flag.Parse()
 
 	wc := anyscan.WeightConfig{}
@@ -96,6 +97,25 @@ func main() {
 		s.Vertices, s.Edges, s.AvgDegree, s.AvgCC, s.MaxDegree)
 
 	if *out == "" {
+		return
+	}
+	compressed := strings.HasSuffix(*out, ".csrz")
+	switch *format {
+	case "":
+	case "csr":
+		compressed = false
+	case "compressed":
+		compressed = true
+	default:
+		fatal(fmt.Errorf("unknown -format %q (have csr, compressed)", *format))
+	}
+	if compressed {
+		c := anyscan.CompressGraph(g)
+		if err := c.WriteCompressedFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (compressed, %.1f%% of flat CSR)\n", *out,
+			100*float64(c.Bytes())/float64(g.Bytes()))
 		return
 	}
 	f, err := os.Create(*out)

@@ -17,20 +17,20 @@ type Index = index.Index
 // NewIndex builds the (μ, ε) query index for g with the given number of
 // workers (0 = GOMAXPROCS). This is the only similarity pass the index will
 // ever perform; Index.Query afterwards answers any (μ, ε) without σ work.
-func NewIndex(g *Graph, threads int) *Index { return index.Build(g, threads) }
+func NewIndex(g GraphView, threads int) *Index { return index.Build(g, threads) }
 
 // LoadIndex reconstructs an index over g from a stream written with
 // Index.Save, skipping the similarity pass entirely. g must be the same
 // graph the index was built on (a content fingerprint is verified); the
 // framed container rejects truncated or bit-corrupted files and the decoded
 // thresholds are validated against g.
-func LoadIndex(g *Graph, r io.Reader, threads int) (*Index, error) {
+func LoadIndex(g GraphView, r io.Reader, threads int) (*Index, error) {
 	return index.Load(g, r, threads)
 }
 
 // LoadIndexFile opens path and loads one index with LoadIndex; the
 // file-writing counterpart is Index.SaveFile, which publishes atomically
 // (temp file + fsync + rename).
-func LoadIndexFile(g *Graph, path string, threads int) (*Index, error) {
+func LoadIndexFile(g GraphView, path string, threads int) (*Index, error) {
 	return index.LoadFile(g, path, threads)
 }

@@ -23,6 +23,12 @@ import (
 )
 
 // Config controls experiment scale and output.
+// Graph storage backends a report can be collected on (Config.Format).
+const (
+	FormatCSR        = "csr"
+	FormatCompressed = "compressed"
+)
+
 type Config struct {
 	// Scale multiplies the default (already reduced) dataset sizes.
 	Scale float64
@@ -39,6 +45,11 @@ type Config struct {
 	// before measuring (graph.RelabelByDegree) — the CSR layout the
 	// degree-adaptive kernels like best on skewed graphs.
 	Relabel bool
+	// Format selects the graph storage backend the query-index rows of the
+	// machine-readable report are measured on: "" or "csr" for the flat CSR,
+	// "compressed" for the varint-compressed backend. Batch and anySCAN rows
+	// always run on the flat CSR.
+	Format string
 	// Out receives the experiment report.
 	Out io.Writer
 }
@@ -100,8 +111,12 @@ type batchAlgo struct {
 
 func batchAlgos() []batchAlgo {
 	return []batchAlgo{
-		{"SCAN", scan.SCAN},
-		{"SCAN-B", scan.SCANB},
+		{"SCAN", func(g *graph.CSR, mu int, eps float64) (*cluster.Result, scan.Metrics) {
+			return scan.SCAN(g, mu, eps)
+		}},
+		{"SCAN-B", func(g *graph.CSR, mu int, eps float64) (*cluster.Result, scan.Metrics) {
+			return scan.SCANB(g, mu, eps)
+		}},
 		{"SCAN++", scan.SCANPP},
 		{"pSCAN", scan.PSCAN},
 	}

@@ -33,17 +33,24 @@ type Record struct {
 	Clusters  int     `json:"clusters"`
 	Vertices  int     `json:"vertices"`
 	Edges     int64   `json:"edges"`
+	// Bytes and Ratio are set on "compress-encode" rows only: the encoded
+	// size of the compressed backend and its fraction of the flat CSR size.
+	Bytes int64   `json:"bytes,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // Report is the top-level payload of BENCH_<date>.json.
 type Report struct {
-	Date       string   `json:"date"`
-	Scale      float64  `json:"scale"`
-	Mu         int      `json:"mu"`
-	Eps        float64  `json:"eps"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	Records    []Record `json:"records"`
+	Date       string  `json:"date"`
+	Scale      float64 `json:"scale"`
+	Mu         int     `json:"mu"`
+	Eps        float64 `json:"eps"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	// Format is the graph storage backend the index rows were measured on
+	// ("" = flat CSR).
+	Format  string   `json:"format,omitempty"`
+	Records []Record `json:"records"`
 }
 
 // CollectRecords measures every batch baseline (single-threaded; they have
@@ -57,6 +64,7 @@ func CollectRecords(cfg Config, names []string) (Report, error) {
 		Eps:        cfg.Eps,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Format:     cfg.Format,
 	}
 	for _, name := range names {
 		g, err := cfg.load(name)
@@ -99,7 +107,25 @@ func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
 		rec.Clusters = res.NumClusters
 		out = append(out, rec)
 	}
-	recs, x, err := cfg.measureIndex(base, g)
+	// The encode row doubles as the backend for the index rows when the
+	// report is collected with Format == "compressed": the same σ pass and
+	// queries then run against the varint-compressed graph, making raw and
+	// compressed reports directly comparable row-by-row.
+	encStart := time.Now()
+	cg := graph.Compress(g)
+	enc := base
+	enc.Algorithm = "compress-encode"
+	enc.Threads = 1
+	enc.WallMS = float64(time.Since(encStart).Microseconds()) / 1000
+	enc.Bytes = cg.Bytes()
+	enc.Ratio = float64(cg.Bytes()) / float64(g.Bytes())
+	out = append(out, enc)
+
+	var ig graph.Graph = g
+	if cfg.Format == FormatCompressed {
+		ig = cg
+	}
+	recs, x, err := cfg.measureIndex(base, ig)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +141,7 @@ func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
 // followed by per-query latencies over a small (μ, ε) grid — the interactive
 // workload of the GS*-style index, where every query after the build costs
 // zero similarity evaluations.
-func (cfg Config) measureIndex(base Record, g *graph.CSR) ([]Record, *index.Index, error) {
+func (cfg Config) measureIndex(base Record, g graph.Graph) ([]Record, *index.Index, error) {
 	threads := 1
 	for _, t := range cfg.Threads {
 		if t > threads {

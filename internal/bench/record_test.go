@@ -15,9 +15,9 @@ func TestCollectRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 batch baselines + one anySCAN row per thread count + 1 index build
-	// + a 2×3 (μ, ε) query grid + 1 mutate-apply row + an index-patch and
-	// index-rebuild pair per live batch size.
+	// 4 batch baselines + one anySCAN row per thread count + 1 compress-encode
+	// + 1 index build + a 2×3 (μ, ε) query grid + 1 mutate-apply row + an
+	// index-patch and index-rebuild pair per live batch size.
 	g, err := cfg.load("GR01L")
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +28,7 @@ func TestCollectRecords(t *testing.T) {
 			sizes++
 		}
 	}
-	want := 4 + len(cfg.Threads) + 1 + 6 + 1 + 2*sizes
+	want := 4 + len(cfg.Threads) + 1 + 1 + 6 + 1 + 2*sizes
 	if len(rep.Records) != want {
 		t.Fatalf("got %d records, want %d", len(rep.Records), want)
 	}
@@ -41,7 +41,12 @@ func TestCollectRecords(t *testing.T) {
 		if r.WallMS < 0 {
 			t.Errorf("%s: negative wall time", r.Algorithm)
 		}
-		if r.Algorithm == "index-query" {
+		if r.Algorithm == "compress-encode" {
+			// The encode row measures size, not σ work.
+			if r.Bytes <= 0 || r.Ratio <= 0 || r.Ratio > 1.5 {
+				t.Errorf("compress-encode: bad size cell %+v", r)
+			}
+		} else if r.Algorithm == "index-query" {
 			// Queries are answered from the prebuilt index: no σ work, and
 			// the probed parameters ride along in the record.
 			if r.SimEvals != 0 {
@@ -70,7 +75,7 @@ func TestCollectRecords(t *testing.T) {
 	clusters := rep.Records[0].Clusters
 	for _, r := range rep.Records {
 		switch {
-		case r.Algorithm == "index-build":
+		case r.Algorithm == "index-build" || r.Algorithm == "compress-encode":
 		case r.Algorithm == "mutate-apply" || r.Algorithm == "index-patch" || r.Algorithm == "index-rebuild":
 			// Write-path rows measure mutations, not a clustering; they carry
 			// the batch size instead.

@@ -97,26 +97,26 @@ func edgeSimilarities(g *graph.CSR, eng *simeval.Engine) []bool {
 // ClassifyNoise upgrades unlabeled vertices to Hub or Outlier: a noise
 // vertex whose (plain) neighbors belong to two or more distinct clusters is
 // a hub, otherwise an outlier. Vertices already classified are untouched.
-func ClassifyNoise(g *graph.CSR, r *Result) {
+func ClassifyNoise(g graph.Graph, r *Result) {
 	for v := int32(0); v < int32(g.NumVertices()); v++ {
 		if r.Roles[v] == Core || r.Roles[v] == Border {
 			continue
 		}
-		adj, _ := g.Neighbors(v)
 		first := NoLabel
 		role := Outlier
-		for _, q := range adj {
+		g.EachNeighbor(v, func(_ int, q int32, _ float32) bool {
 			l := r.Labels[q]
 			if l == NoLabel {
-				continue
+				return true
 			}
 			if first == NoLabel {
 				first = l
 			} else if l != first {
 				role = Hub
-				break
+				return false
 			}
-		}
+			return true
+		})
 		r.Roles[v] = role
 	}
 }

@@ -35,8 +35,12 @@ func TestExhaustiveTinyGraphs(t *testing.T) {
 		name string
 		run  func(g *graph.CSR, mu int, eps float64) (*cluster.Result, scan.Metrics)
 	}{
-		{"SCAN", scan.SCAN},
-		{"SCAN-B", scan.SCANB},
+		{"SCAN", func(g *graph.CSR, mu int, eps float64) (*cluster.Result, scan.Metrics) {
+			return scan.SCAN(g, mu, eps)
+		}},
+		{"SCAN-B", func(g *graph.CSR, mu int, eps float64) (*cluster.Result, scan.Metrics) {
+			return scan.SCANB(g, mu, eps)
+		}},
 		{"pSCAN", scan.PSCAN},
 		{"SCAN++", scan.SCANPP},
 	}

@@ -1,0 +1,108 @@
+package frame
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Mapping is a read-only view of one framed file's payload, backed by mmap
+// where the platform supports it and by a plain read elsewhere. Close
+// releases the mapping; the payload must not be used afterwards.
+type Mapping struct {
+	// Payload is the frame payload (the bytes after the 20-byte header). For
+	// an mmap-backed mapping it aliases the page cache: the first access to
+	// each page faults it in, so opening a multi-gigabyte artifact costs
+	// near-zero I/O up front.
+	Payload []byte
+
+	// Mapped reports whether Payload aliases a file mapping (true) or a heap
+	// copy of the file (false, the non-mmap fallback).
+	Mapped bool
+
+	closer io.Closer
+}
+
+// Close releases the mapping. Safe to call more than once.
+func (m *Mapping) Close() error {
+	if m.closer == nil {
+		return nil
+	}
+	c := m.closer
+	m.closer = nil
+	m.Payload = nil
+	return c.Close()
+}
+
+// MapFile maps the framed file at path read-only and returns its payload
+// without copying it into the heap. The header is always verified (magic,
+// version, declared payload length against the real file size); the CRC is
+// verified only when verifyCRC is set, because checksumming forces every
+// page of the file to be read — the opposite of the near-zero-cost open that
+// mmap exists to provide. Callers opening untrusted files should pass
+// verifyCRC=true or run a structural validation of their own on the payload.
+//
+// On platforms without mmap support the file is read into memory instead
+// (and the CRC is then always checked, since every byte was read anyway).
+func (k Kind) MapFile(path string, verifyCRC bool) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("anyscan: opening %s: %w", k.Name, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("anyscan: stat %s: %w", k.Name, err)
+	}
+	if st.Size() < headerSize {
+		return nil, fmt.Errorf("anyscan: %s truncated (%d bytes, header is %d)", k.Name, st.Size(), headerSize)
+	}
+
+	data, closer, mapped, err := mapRaw(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("anyscan: mapping %s: %w", k.Name, err)
+	}
+	ok := false
+	defer func() {
+		if !ok && closer != nil {
+			closer.Close()
+		}
+	}()
+
+	hdr := data[:headerSize]
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != k.Magic {
+		return nil, fmt.Errorf("anyscan: not a %s file (magic %#x, want %#x)", k.Name, m, k.Magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != k.Version {
+		return nil, fmt.Errorf("anyscan: %s format version %d not supported (want %d)", k.Name, v, k.Version)
+	}
+	size := binary.LittleEndian.Uint64(hdr[8:16])
+	if size == 0 || size > uint64(k.MaxPayload) {
+		return nil, fmt.Errorf("anyscan: implausible %s payload length %d", k.Name, size)
+	}
+	if uint64(st.Size()-headerSize) < size {
+		return nil, fmt.Errorf("anyscan: %s truncated (declared %d payload bytes, file holds %d)",
+			k.Name, size, st.Size()-headerSize)
+	}
+	payload := data[headerSize : headerSize+int64(size)]
+	if verifyCRC || !mapped {
+		want := binary.LittleEndian.Uint32(hdr[16:20])
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, fmt.Errorf("anyscan: %s payload corrupted (CRC-32 %#x, want %#x)", k.Name, got, want)
+		}
+	}
+	ok = true
+	return &Mapping{Payload: payload, Mapped: mapped, closer: closer}, nil
+}
+
+// readRaw is the no-mmap fallback: the whole file is read into one heap
+// buffer. Used when the platform (or the specific filesystem) cannot mmap.
+func readRaw(f *os.File, size int64) ([]byte, io.Closer, bool, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, false, err
+	}
+	return buf, nil, false, nil
+}

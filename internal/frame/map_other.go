@@ -1,0 +1,13 @@
+//go:build !unix
+
+package frame
+
+import (
+	"io"
+	"os"
+)
+
+// mapRaw on platforms without mmap reads the whole file into memory.
+func mapRaw(f *os.File, size int64) ([]byte, io.Closer, bool, error) {
+	return readRaw(f, size)
+}

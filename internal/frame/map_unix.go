@@ -1,0 +1,36 @@
+//go:build unix
+
+package frame
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// munmapCloser unmaps one mmap region on Close.
+type munmapCloser struct{ data []byte }
+
+func (m *munmapCloser) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	d := m.data
+	m.data = nil
+	return syscall.Munmap(d)
+}
+
+// mapRaw maps the whole file read-only. The mapping is private and read-only,
+// so a hostile writer changing the file afterwards cannot corrupt this
+// process's view beyond what shared-file mmap semantics already allow.
+func mapRaw(f *os.File, size int64) (data []byte, closer io.Closer, mapped bool, err error) {
+	if size == 0 {
+		return nil, nil, false, syscall.EINVAL
+	}
+	d, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to reading the file (e.g. filesystems without mmap).
+		return readRaw(f, size)
+	}
+	return d, &munmapCloser{data: d}, true, nil
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"anyscan/internal/frame"
+)
+
+// CompressedKind is the framed-container family of on-disk compressed graphs
+// (conventional extension: .csrz). The payload layout is designed for
+// zero-copy mmap loads: every fixed-width section sits at a file offset
+// divisible by its element size, so the loader can alias typed slices
+// directly onto the mapping instead of decoding.
+//
+// Payload layout (all little-endian; file offset = 20-byte frame header +
+// payload offset):
+//
+//	off   size          field
+//	  0      4          alignment pad (zeros) — brings the next field to
+//	                     absolute file offset 24, a multiple of 8
+//	  4      8          n (vertices)
+//	 12      8          edges
+//	 20      8          flags (bit 0: unit weights — no weight section)
+//	 28      8          maxDeg
+//	 36      8          dataLen (varint stream bytes)
+//	 44      8          reserved (0)
+//	 52  (n+1)*8        arcOff   — cumulative degrees
+//	  …  (n+1)*8        byteOff  — varint stream offsets
+//	  …      n*8        norm     (float64)
+//	  …      n*8        sqrtNorm (float64)
+//	  …      n*4        maxW     (float32)
+//	  …     0..4        pad to a multiple of 8
+//	  …   arcs*4        weights  (float32; absent when unit weights)
+//	  …     0..4        pad to a multiple of 8
+//	  …  dataLen        varint byte-delta adjacency stream
+var CompressedKind = frame.Kind{
+	Magic:      0xC5_1C_5A_C1,
+	Version:    1,
+	Name:       "compressed graph",
+	MaxPayload: 1 << 40,
+}
+
+const (
+	cgFlagUnitWeights = 1 << 0
+
+	// cgPad + cgHeaderLen position the first array section at payload offset
+	// 52, i.e. absolute file offset 72 — a multiple of 8.
+	cgPad       = 4
+	cgHeaderLen = 6 * 8
+)
+
+func pad8(off int64) int64 { return (8 - off%8) % 8 }
+
+// WriteCompressed frames the compressed graph and writes it to w.
+func (c *CompressedCSR) WriteCompressed(w io.Writer) error {
+	return CompressedKind.Write(w, c.encodePayload())
+}
+
+// WriteCompressedFile writes the compressed graph to path atomically (temp
+// file + fsync + rename), so a crash mid-write never leaves a torn file.
+func (c *CompressedCSR) WriteCompressedFile(path string) error {
+	return CompressedKind.WriteFile(path, c.encodePayload())
+}
+
+func (c *CompressedCSR) encodePayload() []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(c.Bytes()) + 128)
+	buf.Write(make([]byte, cgPad))
+	var u [8]byte
+	putU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(u[:], x)
+		buf.Write(u[:])
+	}
+	flags := uint64(0)
+	if c.unit {
+		flags |= cgFlagUnitWeights
+	}
+	putU64(uint64(c.n))
+	putU64(uint64(c.edges))
+	putU64(flags)
+	putU64(uint64(c.maxDeg))
+	putU64(uint64(len(c.data)))
+	putU64(0)
+	for _, x := range c.arcOff {
+		putU64(uint64(x))
+	}
+	for _, x := range c.byteOf {
+		putU64(uint64(x))
+	}
+	for _, x := range c.norm {
+		putU64(math.Float64bits(x))
+	}
+	for _, x := range c.sqrtNorm {
+		putU64(math.Float64bits(x))
+	}
+	var f [4]byte
+	for _, x := range c.maxW {
+		binary.LittleEndian.PutUint32(f[:], math.Float32bits(x))
+		buf.Write(f[:])
+	}
+	buf.Write(make([]byte, pad8(int64(buf.Len()))))
+	if !c.unit {
+		for _, x := range c.weights {
+			binary.LittleEndian.PutUint32(f[:], math.Float32bits(x))
+			buf.Write(f[:])
+		}
+		buf.Write(make([]byte, pad8(int64(buf.Len()))))
+	}
+	buf.Write(c.data)
+	return buf.Bytes()
+}
+
+// ReadCompressed reads one framed compressed graph from a stream. The frame
+// CRC is always verified (the bytes are read anyway) and the payload is
+// copy-decoded into heap arrays; for file paths prefer OpenCompressedFile,
+// which maps the file instead of loading it.
+func ReadCompressed(r io.Reader) (*CompressedCSR, error) {
+	payload, err := CompressedKind.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCompressed(payload, false, nil)
+}
+
+// CompressedOpenOptions configures OpenCompressedFile.
+type CompressedOpenOptions struct {
+	// VerifyCRC checksums the whole file before use. Off by default: the
+	// point of the mmap load is to touch no payload pages up front, and the
+	// O(n) structural offset validation still rejects most corruption.
+	// Enable for files of untrusted provenance; note that a corrupt varint
+	// stream that passes the structural checks panics at decode time.
+	VerifyCRC bool
+	// ValidateFull additionally decodes every adjacency list and checks the
+	// full CSR invariants (sortedness, symmetry, weight positivity). Implies
+	// reading the whole file. Used by `anyscan graph convert` after writing.
+	ValidateFull bool
+}
+
+// OpenCompressedFile maps the compressed graph container at path. The
+// adjacency stream and all fixed-width sections alias the mapping, so the
+// open cost is O(n) (the structural offset validation) regardless of edge
+// count, and resident memory stays near zero until queries fault pages in —
+// this is how anyscand serves graphs far larger than RAM.
+//
+// The returned graph holds the mapping until it is garbage collected or
+// Close is called. It is read-only in the strictest sense: attempting to
+// write through any of its slices faults.
+func OpenCompressedFile(path string, opts CompressedOpenOptions) (*CompressedCSR, error) {
+	m, err := CompressedKind.MapFile(path, opts.VerifyCRC)
+	if err != nil {
+		return nil, err
+	}
+	c, err := decodeCompressed(m.Payload, m.Mapped, m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if opts.ValidateFull {
+		if err := c.Validate(); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// hostLittleEndian reports whether typed slices can alias the little-endian
+// file sections directly.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// decodeCompressed parses one container payload. With zeroCopy set (mmap
+// path on a little-endian host) the typed sections alias the payload bytes;
+// otherwise they are copy-decoded into heap arrays.
+func decodeCompressed(payload []byte, zeroCopy bool, closer io.Closer) (*CompressedCSR, error) {
+	if len(payload) < cgPad+cgHeaderLen {
+		return nil, fmt.Errorf("anyscan: compressed graph payload too short (%d bytes)", len(payload))
+	}
+	h := payload[cgPad:]
+	u64 := func(i int) uint64 { return binary.LittleEndian.Uint64(h[i*8:]) }
+	n := u64(0)
+	edges := u64(1)
+	flags := u64(2)
+	maxDeg := u64(3)
+	dataLen := u64(4)
+	const maxVerts = 1 << 33
+	if n > maxVerts || maxDeg > n {
+		return nil, fmt.Errorf("anyscan: implausible compressed graph header (n=%d maxDeg=%d)", n, maxDeg)
+	}
+	unit := flags&cgFlagUnitWeights != 0
+
+	c := &CompressedCSR{
+		n:      int(n),
+		edges:  int64(edges),
+		unit:   unit,
+		maxDeg: int(maxDeg),
+		closer: closer,
+	}
+
+	off := int64(cgPad + cgHeaderLen)
+	need := func(size int64) ([]byte, error) {
+		if size < 0 || off+size > int64(len(payload)) {
+			return nil, fmt.Errorf("anyscan: compressed graph truncated (need %d bytes at offset %d, payload is %d)",
+				size, off, len(payload))
+		}
+		s := payload[off : off+size]
+		off += size
+		return s, nil
+	}
+
+	var err error
+	if c.arcOff, err = sliceI64(need, int64(n)+1, zeroCopy, &c.residentBytes); err != nil {
+		return nil, err
+	}
+	if c.byteOf, err = sliceI64(need, int64(n)+1, zeroCopy, &c.residentBytes); err != nil {
+		return nil, err
+	}
+	var normBits, sqrtBits []int64
+	if normBits, err = sliceI64(need, int64(n), zeroCopy, &c.residentBytes); err != nil {
+		return nil, err
+	}
+	if sqrtBits, err = sliceI64(need, int64(n), zeroCopy, &c.residentBytes); err != nil {
+		return nil, err
+	}
+	c.norm = i64ToF64(normBits)
+	c.sqrtNorm = i64ToF64(sqrtBits)
+	if c.maxW, err = sliceF32(need, int64(n), zeroCopy, &c.residentBytes); err != nil {
+		return nil, err
+	}
+	if _, err = need(pad8(off)); err != nil {
+		return nil, err
+	}
+	if !unit {
+		arcs := int64(2 * edges)
+		if c.weights, err = sliceF32(need, arcs, zeroCopy, &c.residentBytes); err != nil {
+			return nil, err
+		}
+		if _, err = need(pad8(off)); err != nil {
+			return nil, err
+		}
+	}
+	if c.data, err = need(int64(dataLen)); err != nil {
+		return nil, err
+	}
+	if !zeroCopy {
+		c.residentBytes += int64(len(c.data))
+	}
+	if off != int64(len(payload)) {
+		return nil, fmt.Errorf("anyscan: compressed graph has %d trailing payload bytes", int64(len(payload))-off)
+	}
+	if err := c.validateOffsets(); err != nil {
+		return nil, err
+	}
+	if unit {
+		c.ones = onesSlice(c.maxDeg)
+	}
+	if closer == nil {
+		// Heap-backed (stream read): everything is resident.
+		c.residentBytes = c.Bytes()
+	}
+	return c, nil
+}
+
+type needFn func(size int64) ([]byte, error)
+
+// sliceI64 returns count int64s from the section stream: a zero-copy alias
+// when permitted and 8-aligned, a decoded heap copy otherwise (the copy is
+// charged to resident).
+func sliceI64(need needFn, count int64, zeroCopy bool, resident *int64) ([]int64, error) {
+	raw, err := need(count * 8)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&raw[0])), count), nil
+	}
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	*resident += count * 8
+	return out, nil
+}
+
+// sliceF32 is sliceI64 for float32 sections (4-byte alignment).
+func sliceF32(need needFn, count int64, zeroCopy bool, resident *int64) ([]float32, error) {
+	raw, err := need(count * 4)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&raw[0])), count), nil
+	}
+	out := make([]float32, count)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	*resident += count * 4
+	return out, nil
+}
+
+// i64ToF64 reinterprets an int64 slice as float64 bit patterns. Same memory
+// when the source is a zero-copy alias; a cheap in-place reinterpretation
+// when it is a heap copy.
+func i64ToF64(s []int64) []float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&s[0])), len(s))
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestContainer(t *testing.T, unit bool) (string, *CSR) {
+	t.Helper()
+	g := randomCSR(t, rand.New(rand.NewSource(21)), 500, 11, unit)
+	path := filepath.Join(t.TempDir(), "g.csrz")
+	if err := Compress(g).WriteCompressedFile(path); err != nil {
+		t.Fatalf("WriteCompressedFile: %v", err)
+	}
+	return path, g
+}
+
+func TestContainerMmapRoundTrip(t *testing.T) {
+	for _, unit := range []bool{false, true} {
+		path, g := writeTestContainer(t, unit)
+		c, err := OpenCompressedFile(path, CompressedOpenOptions{VerifyCRC: true, ValidateFull: true})
+		if err != nil {
+			t.Fatalf("unit=%v: OpenCompressedFile: %v", unit, err)
+		}
+		assertEquivalentBackends(t, g, c)
+		if c.Bytes() <= 0 {
+			t.Fatalf("Bytes() = %d", c.Bytes())
+		}
+		if c.ResidentBytes() > c.Bytes() {
+			t.Fatalf("ResidentBytes %d > Bytes %d", c.ResidentBytes(), c.Bytes())
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}
+
+func TestContainerLoadAnyDispatch(t *testing.T) {
+	path, g := writeTestContainer(t, false)
+	any, ids, err := LoadAny(path)
+	if err != nil {
+		t.Fatalf("LoadAny: %v", err)
+	}
+	if ids != nil {
+		t.Fatalf("LoadAny on .csrz returned ids")
+	}
+	if _, ok := any.(*CompressedCSR); !ok {
+		t.Fatalf("LoadAny returned %T, want *CompressedCSR", any)
+	}
+	assertEquivalentBackends(t, g, any)
+
+	flat, _, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	assertEquivalentBackends(t, g, flat)
+}
+
+func TestContainerTruncation(t *testing.T) {
+	path, _ := writeTestContainer(t, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 10, 19, len(data) / 2, len(data) - 1} {
+		trunc := filepath.Join(t.TempDir(), "t.csrz")
+		if err := os.WriteFile(trunc, data[:keep], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCompressedFile(trunc, CompressedOpenOptions{}); err == nil {
+			t.Fatalf("open of file truncated to %d bytes succeeded", keep)
+		}
+		if _, err := os.Open(trunc); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := os.Open(trunc)
+		if _, err := ReadCompressed(f); err == nil {
+			t.Fatalf("stream read of file truncated to %d bytes succeeded", keep)
+		}
+		f.Close()
+	}
+}
+
+func TestContainerBadCRC(t *testing.T) {
+	path, _ := writeTestContainer(t, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte. The CRC check (stream reads always, mmap opens
+	// with VerifyCRC) must reject the file.
+	data[len(data)-3] ^= 0x40
+	bad := filepath.Join(t.TempDir(), "bad.csrz")
+	if err := os.WriteFile(bad, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCompressedFile(bad, CompressedOpenOptions{VerifyCRC: true}); err == nil ||
+		!strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("VerifyCRC open of corrupted file: err = %v, want CRC failure", err)
+	}
+	f, _ := os.Open(bad)
+	defer f.Close()
+	if _, err := ReadCompressed(f); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("stream read of corrupted file: err = %v, want CRC failure", err)
+	}
+}
+
+func TestContainerBadVarint(t *testing.T) {
+	path, _ := writeTestContainer(t, false)
+	c, err := OpenCompressedFile(path, CompressedOpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild a container whose varint stream is corrupted but whose frame
+	// CRC matches the corrupted bytes: only full validation can catch it.
+	bad := &CompressedCSR{
+		n: c.n, edges: c.edges, arcOff: c.arcOff, byteOf: c.byteOf,
+		unit: c.unit, weights: c.weights, norm: c.norm, sqrtNorm: c.sqrtNorm,
+		maxW: c.maxW, maxDeg: c.maxDeg, ones: c.ones,
+		data: append([]byte(nil), c.data...),
+	}
+	// 0x80 with no continuation byte at the very end of a vertex's extent is
+	// an invalid varint.
+	bad.data[bad.byteOf[1]-1] = 0x80
+	badPath := filepath.Join(t.TempDir(), "badvarint.csrz")
+	if err := bad.WriteCompressedFile(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCompressedFile(badPath, CompressedOpenOptions{VerifyCRC: true, ValidateFull: true}); err == nil {
+		t.Fatal("ValidateFull accepted a corrupt varint stream")
+	}
+	// Without full validation the open succeeds (structural checks cannot
+	// see inside the stream) and the decode panics with a clear message.
+	loose, err := OpenCompressedFile(badPath, CompressedOpenOptions{})
+	if err != nil {
+		t.Fatalf("structural open of internally-corrupt file: %v", err)
+	}
+	defer loose.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decoding a corrupt varint stream did not panic")
+		}
+	}()
+	loose.Neighbors(0)
+}
+
+func TestContainerRejectsWrongKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.csrz")
+	if err := os.WriteFile(path, []byte("definitely not a frame at all......."), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCompressedFile(path, CompressedOpenOptions{}); err == nil {
+		t.Fatal("opened a non-frame file")
+	}
+}

@@ -17,7 +17,9 @@ type Fingerprint struct {
 }
 
 // FingerprintOf computes the fingerprint of g. Cost: one pass over the arcs.
-func FingerprintOf(g *CSR) Fingerprint {
+// The hash depends only on the adjacency content, not the backend: a CSR and
+// its compressed encoding fingerprint identically.
+func FingerprintOf(g Graph) Fingerprint {
 	h := fnv.New64a()
 	buf := make([]byte, 8)
 	put := func(x int64) {
@@ -31,10 +33,10 @@ func FingerprintOf(g *CSR) Fingerprint {
 	for v := int32(0); v < n; v++ {
 		lo, hi := g.NeighborRange(v)
 		put(hi - lo)
-		for e := lo; e < hi; e++ {
-			q, w := g.Arc(e)
+		g.EachNeighbor(v, func(_ int, q int32, w float32) bool {
 			put(int64(q)<<32 | int64(int32(math.Float32bits(w))))
-		}
+			return true
+		})
 	}
 	return Fingerprint{Vertices: g.NumVertices(), Arcs: g.NumArcs(), Hash: h.Sum64()}
 }

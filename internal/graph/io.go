@@ -123,7 +123,42 @@ func LoadEdgeListFile(path string, opts LoadOptions) (*CSR, []int64, error) {
 // else → whitespace edge list with id remapping. The returned id slice maps
 // dense vertex ids back to the original file ids and is non-nil only for the
 // edge-list case.
+//
+// A ".csrz" compressed container is decompressed to a flat CSR here; use
+// LoadAny to keep the compressed (mmap-backed) representation.
 func LoadFile(path string) (*CSR, []int64, error) {
+	if strings.HasSuffix(path, ".csrz") {
+		c, err := OpenCompressedFile(path, CompressedOpenOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		g := c.Decompress()
+		c.Close()
+		return g, nil, nil
+	}
+	return loadFlatFile(path)
+}
+
+// LoadAny loads a graph in its natural in-memory representation: ".csrz"
+// files open as mmap-backed *CompressedCSR (near-zero load cost, serves
+// graphs larger than RAM), every other extension loads as a flat *CSR
+// exactly like LoadFile.
+func LoadAny(path string) (Graph, []int64, error) {
+	if strings.HasSuffix(path, ".csrz") {
+		c, err := OpenCompressedFile(path, CompressedOpenOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, nil, nil
+	}
+	g, ids, err := loadFlatFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ids, nil
+}
+
+func loadFlatFile(path string) (*CSR, []int64, error) {
 	switch {
 	case strings.HasSuffix(path, ".metis"), strings.HasSuffix(path, ".graph"):
 		f, err := os.Open(path)

@@ -46,7 +46,7 @@ import (
 // any number of concurrent callers with no external locking. The anyscand
 // service relies on this to cache a single Index per graph across requests.
 type Index struct {
-	g *graph.CSR
+	g graph.Graph
 
 	// sigma[e] is the activation threshold of arc e in CSR arc order: the
 	// largest representable ε at which the similarity predicate of the arc's
@@ -82,7 +82,7 @@ type coreOrder struct {
 // sorts every vertex's neighbor order. Cost: one exact σ per undirected edge
 // plus an O(|E| log d_max) sort, both parallelized; this is the only σ pass
 // the index will ever perform.
-func Build(g *graph.CSR, threads int) *Index {
+func Build(g graph.Graph, threads int) *Index {
 	x, _ := BuildCtx(context.Background(), g, threads)
 	return x
 }
@@ -93,35 +93,36 @@ func Build(g *graph.CSR, threads int) *Index {
 // serving cache, a shut-down daemon) stops burning cores within one chunk
 // instead of running to completion. On cancellation BuildCtx returns
 // ctx.Err() and no Index — a partially evaluated σ slice is never exposed.
-func BuildCtx(ctx context.Context, g *graph.CSR, threads int) (*Index, error) {
+func BuildCtx(ctx context.Context, g graph.Graph, threads int) (*Index, error) {
 	start := time.Now()
 	n := g.NumVertices()
 	eng := simeval.New(g, 0, simeval.Options{}) // exact values: no pruning
-	rev := g.ReverseEdgeIndex()
 
 	// Each worker evaluates through its own WorkerEngine (degree-adaptive
 	// join kernels, private scratch) and counts its evaluations in the
 	// reduction accumulator, so the hot loop touches no shared cache line.
+	// Only the canonical arc slot (v < q) is written here; the mirror slots
+	// are filled by one PropagateMirrors pass afterwards, which works on any
+	// backend without materializing a reverse-edge index.
 	sigma := make([]float64, g.NumArcs())
 	evals, err := par.ReduceCtx(ctx, n, threads, par.Adaptive, func(w, i int, acc int64) int64 {
 		we := eng.ForWorker(w)
 		v := int32(i)
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, wt := g.Arc(e)
+		lo, _ := g.NeighborRange(v)
+		g.EachNeighbor(v, func(j int, q int32, wt float32) bool {
 			if v < q {
 				acc++
 				num, denom := we.EdgeNumerator(v, q, wt)
-				s := simeval.Crossing(num, denom)
-				sigma[e] = s
-				sigma[rev[e]] = s
+				sigma[lo+int64(j)] = simeval.Crossing(num, denom)
 			}
-		}
+			return true
+		})
 		return acc
 	}, func(a, b int64) int64 { return a + b })
 	if err != nil {
 		return nil, err
 	}
+	graph.PropagateMirrors(g, sigma)
 
 	x := &Index{
 		g:        g,
@@ -152,6 +153,9 @@ func (x *Index) sortNeighborsCtx(ctx context.Context, threads int) error {
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
 		deg := int(hi - lo)
+		// On a flat CSR this is a storage alias; a compressed backend decodes
+		// once per vertex here (amortized against the O(deg log deg) sort).
+		ids, _ := g.Neighbors(v)
 		ord := make([]int32, deg)
 		for j := range ord {
 			ord[j] = int32(j)
@@ -161,20 +165,18 @@ func (x *Index) sortNeighborsCtx(ctx context.Context, threads int) error {
 			if sa != sb {
 				return sa > sb
 			}
-			qa, _ := g.Arc(lo + int64(ord[a]))
-			qb, _ := g.Arc(lo + int64(ord[b]))
-			return qa < qb
+			return ids[ord[a]] < ids[ord[b]]
 		})
 		for j, o := range ord {
-			q, _ := g.Arc(lo + int64(o))
-			x.nbr[lo+int64(j)] = q
+			x.nbr[lo+int64(j)] = ids[o]
 			x.nbrSig[lo+int64(j)] = x.sigma[lo+int64(o)]
 		}
 	})
 }
 
-// Graph returns the graph the index was built over.
-func (x *Index) Graph() *graph.CSR { return x.g }
+// Graph returns the graph the index was built over (whichever backend the
+// caller supplied to Build or Load).
+func (x *Index) Graph() graph.Graph { return x.g }
 
 // SimEvals returns the number of exact σ evaluations Build performed: one
 // per undirected edge, or 0 for an index restored by Load.

@@ -76,7 +76,7 @@ func (x *Index) SaveFile(path string) error {
 // range), so a checksum-valid but semantically invalid file yields an error
 // instead of silently wrong query answers. The sorted neighbor orders are
 // rebuilt with the given number of workers.
-func Load(g *graph.CSR, r io.Reader, threads int) (*Index, error) {
+func Load(g graph.Graph, r io.Reader, threads int) (*Index, error) {
 	payload, err := indexKind.Read(r)
 	if err != nil {
 		return nil, err
@@ -85,7 +85,7 @@ func Load(g *graph.CSR, r io.Reader, threads int) (*Index, error) {
 }
 
 // LoadFile opens path and loads one index with Load.
-func LoadFile(g *graph.CSR, path string, threads int) (*Index, error) {
+func LoadFile(g graph.Graph, path string, threads int) (*Index, error) {
 	payload, err := indexKind.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -93,7 +93,7 @@ func LoadFile(g *graph.CSR, path string, threads int) (*Index, error) {
 	return restore(g, payload, threads)
 }
 
-func restore(g *graph.CSR, payload []byte, threads int) (*Index, error) {
+func restore(g graph.Graph, payload []byte, threads int) (*Index, error) {
 	var p indexPayload
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("anyscan: decoding index: %w", err)

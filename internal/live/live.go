@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -149,13 +150,35 @@ type Graph struct {
 }
 
 // FromIndex wraps an already-built query index as epoch 0 of a live graph.
-// Zero-copy: the epoch's segments alias the index's neighbor orders, arc
-// thresholds, and the CSR's adjacency and norms, so promotion of a served
-// static index to a live graph costs O(|V|) pointers, not a rebuild. The
-// index and its CSR must not be mutated afterwards (they are immutable by
-// contract already).
+// Zero-copy when the index was built over a flat *graph.CSR: the epoch's
+// segments alias the index's neighbor orders, arc thresholds, and the CSR's
+// adjacency and norms, so promotion of a served static index to a live graph
+// costs O(|V|) pointers, not a rebuild. The index and its CSR must not be
+// mutated afterwards (they are immutable by contract already).
+//
+// An index over any other backend — a read-only, possibly mmap-backed
+// compressed graph in particular — cannot be aliased: mutations would write
+// through to storage that cannot be written. FromIndex falls back to
+// decompressing the graph into a private mutable CSR (one O(|V|+|E|)
+// materialization, logged via slog.Default) and promotes that instead; the σ
+// thresholds and neighbor orders still come from the index, so no similarity
+// is recomputed either way.
 func FromIndex(x *index.Index) *Graph {
-	g := x.Graph()
+	return FromIndexLogger(x, slog.Default())
+}
+
+// FromIndexLogger is FromIndex with an explicit logger for the
+// decompress-fallback warning (nil disables logging).
+func FromIndexLogger(x *index.Index, lg *slog.Logger) *Graph {
+	g, ok := x.Graph().(*graph.CSR)
+	if !ok {
+		g = graph.Materialize(x.Graph())
+		if lg != nil {
+			lg.Warn("live: graph backend is read-only; decompressed to a mutable copy for promotion",
+				"backend", fmt.Sprintf("%T", x.Graph()),
+				"vertices", g.NumVertices(), "edges", g.NumEdges())
+		}
+	}
 	n := g.NumVertices()
 	arr := make([]seg, n)
 	segs := make([]*seg, n)
@@ -172,9 +195,9 @@ func FromIndex(x *index.Index) *Graph {
 		segs[v] = &arr[v]
 	}
 	e := &Epoch{segs: segs, edges: g.NumEdges(), threads: x.Threads(), orders: map[int]*coreOrder{}}
-	lg := &Graph{pub: make(chan struct{}), threads: x.Threads()}
-	lg.cur.Store(e)
-	return lg
+	out := &Graph{pub: make(chan struct{}), threads: x.Threads()}
+	out.cur.Store(e)
+	return out
 }
 
 // FromCSR builds the initial index for g (one full σ pass, cancellable) and

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -519,5 +521,47 @@ func TestToCSRRoundTrip(t *testing.T) {
 	}
 	if g.NumEdges() != lg.Epoch().NumEdges() {
 		t.Fatalf("edges %d != %d", g.NumEdges(), lg.Epoch().NumEdges())
+	}
+}
+
+// TestFromIndexCompressedBackendFallsBack promotes an index built over the
+// read-only compressed backend: FromIndex must decompress to a mutable copy
+// (logging a warning) rather than alias read-only storage, and the promoted
+// graph must behave exactly like one promoted from the flat CSR.
+func TestFromIndexCompressedBackendFallsBack(t *testing.T) {
+	g0 := seedGraph(47)
+	xFlat := index.Build(g0, 2)
+	xComp := index.Build(graph.Compress(g0), 2)
+
+	var buf strings.Builder
+	lg := FromIndexLogger(xComp, slog.New(slog.NewTextHandler(&buf, nil)))
+	if !strings.Contains(buf.String(), "read-only") {
+		t.Fatalf("promotion from a compressed backend logged no warning, got: %q", buf.String())
+	}
+	want := FromIndex(xFlat)
+
+	muts := []Mutation{
+		{Op: OpAdd, U: 0, V: 1, W: 0.5},
+		{Op: OpDelete, U: 2, V: 3},
+		{Op: OpAdd, U: 5, V: 100, W: 1.25},
+	}
+	ep, _, err := lg.Apply(muts)
+	if err != nil {
+		t.Fatalf("mutating a compressed-promoted graph: %v", err)
+	}
+	wantEp, _, err := want.Apply(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCSR, err := ep.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSR, err := wantEp.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.FingerprintOf(gotCSR) != graph.FingerprintOf(wantCSR) {
+		t.Fatal("compressed-promoted mutation result differs from flat-promoted")
 	}
 }

@@ -62,7 +62,12 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // returns the clustering plus work metrics. All five algorithms produce
 // equivalent clusterings (identical cores, core partition, and noise); they
 // differ only in how much similarity work they spend getting there.
-func Batch(g *graph.CSR, algo Algorithm, q Query) (*cluster.Result, Metrics, error) {
+//
+// SCAN, SCAN-B and the naive parallel SCAN run on any graph.Graph backend
+// directly. SCAN++ and pSCAN need arc-indexed memo tables and the reverse
+// edge index, so a compressed graph is materialized to a flat CSR for them
+// (free when g already is one).
+func Batch(g graph.Graph, algo Algorithm, q Query) (*cluster.Result, Metrics, error) {
 	if err := q.Validate(); err != nil {
 		return nil, Metrics{}, err
 	}
@@ -74,10 +79,10 @@ func Batch(g *graph.CSR, algo Algorithm, q Query) (*cluster.Result, Metrics, err
 		res, m := SCANB(g, q.Mu, q.Eps)
 		return res, m, nil
 	case AlgoSCANPP:
-		res, m := SCANPP(g, q.Mu, q.Eps)
+		res, m := SCANPP(graph.Materialize(g), q.Mu, q.Eps)
 		return res, m, nil
 	case AlgoPSCAN:
-		res, m := PSCAN(g, q.Mu, q.Eps)
+		res, m := PSCAN(graph.Materialize(g), q.Mu, q.Eps)
 		return res, m, nil
 	case AlgoParallelSCAN:
 		res, m := ParallelSCAN(g, q.Mu, q.Eps, q.Threads)

@@ -13,7 +13,7 @@ import (
 // with no optimizations, no label propagation and no synchronization beyond
 // the final barrier, so its scalability is the best any parallel SCAN
 // variant could hope for. It returns only work metrics; it does not cluster.
-func Ideal(g *graph.CSR, eps float64, threads int) Metrics {
+func Ideal(g graph.Graph, eps float64, threads int) Metrics {
 	start := time.Now()
 	eng := simeval.New(g, eps, simeval.Options{})
 	n := g.NumVertices()
@@ -22,13 +22,12 @@ func Ideal(g *graph.CSR, eps float64, threads int) Metrics {
 	// neighborhood sizes vary wildly.
 	par.For(n, threads, 16, func(i int) {
 		v := int32(i)
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, w := g.Arc(e)
+		g.EachNeighbor(v, func(_ int, q int32, w float32) bool {
 			if v < q {
 				eng.SimilarEdge(v, q, w)
 			}
-		}
+			return true
+		})
 	})
 	return Metrics{Sim: eng.C.Snapshot(), Elapsed: time.Since(start)}
 }

@@ -18,28 +18,28 @@ import (
 // precomputed table), so unlike anySCAN it is not work-efficient: even with
 // perfect scaling of the similarity phase it cannot beat a work-efficient
 // sequential algorithm until the thread count exceeds the work ratio.
-func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Result, Metrics) {
+func ParallelSCAN(g graph.Graph, mu int, eps float64, threads int) (*cluster.Result, Metrics) {
 	start := time.Now()
 	n := g.NumVertices()
 	eng := simeval.New(g, eps, simeval.AllOptimizations)
-	rev := g.ReverseEdgeIndex()
 
 	// Phase 1 (parallel): one σ per undirected edge, through the per-worker
-	// engines (sharded counters, degree-adaptive kernels).
+	// engines (sharded counters, degree-adaptive kernels). Canonical slots
+	// (v < q) are decided here; mirrors are filled by one PropagateMirrors
+	// pass, which works on every backend without a reverse-edge index.
 	similar := make([]bool, g.NumArcs())
 	par.ForWorker(n, threads, par.Adaptive, func(w, i int) {
 		we := eng.ForWorker(w)
 		v := int32(i)
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, wt := g.Arc(e)
+		lo, _ := g.NeighborRange(v)
+		g.EachNeighbor(v, func(j int, q int32, wt float32) bool {
 			if v < q {
-				ok := we.SimilarEdge(v, q, wt)
-				similar[e] = ok
-				similar[rev[e]] = ok
+				similar[lo+int64(j)] = we.SimilarEdge(v, q, wt)
 			}
-		}
+			return true
+		})
 	})
+	graph.PropagateMirrors(g, similar)
 
 	// Phase 2 (parallel): core flags from similar-degree counts.
 	isCore := make([]bool, n)
@@ -66,13 +66,13 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 		if !isCore[v] {
 			return
 		}
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, _ := g.Arc(e)
-			if similar[e] && q > v && isCore[q] {
+		lo, _ := g.NeighborRange(v)
+		g.EachNeighbor(v, func(j int, q int32, _ float32) bool {
+			if similar[lo+int64(j)] && q > v && isCore[q] {
 				ds.Union(v, q)
 			}
-		}
+			return true
+		})
 	})
 	labels := make([]int32, n)
 	par.For(n, threads, par.Adaptive, func(i int) {
@@ -90,14 +90,14 @@ func ParallelSCAN(g *graph.CSR, mu int, eps float64, threads int) (*cluster.Resu
 		if isCore[v] || labels[v] != unclassified {
 			return
 		}
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, _ := g.Arc(e)
-			if similar[e] && isCore[q] {
+		lo, _ := g.NeighborRange(v)
+		g.EachNeighbor(v, func(j int, q int32, _ float32) bool {
+			if similar[lo+int64(j)] && isCore[q] {
 				labels[v] = labels[q]
-				break
+				return false
 			}
-		}
+			return true
+		})
 	})
 
 	res := buildResult(g, labels, isCore)

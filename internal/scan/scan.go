@@ -31,17 +31,17 @@ const unclassified = int32(-2)
 // SCAN runs the original SCAN algorithm: BFS cluster expansion with a full
 // ε-neighborhood query per visited vertex and no similarity pruning. Its
 // similarity count is Σ_v deg(v) = 2|E|, the paper's baseline workload.
-func SCAN(g *graph.CSR, mu int, eps float64) (*cluster.Result, Metrics) {
+func SCAN(g graph.Graph, mu int, eps float64) (*cluster.Result, Metrics) {
 	return scanImpl(g, mu, eps, simeval.Options{})
 }
 
 // SCANB runs SCAN-B: the SCAN control flow with the Lemma 5 upper-bound
 // prune and merge-join early exits enabled (Section III-D / Section IV-A).
-func SCANB(g *graph.CSR, mu int, eps float64) (*cluster.Result, Metrics) {
+func SCANB(g graph.Graph, mu int, eps float64) (*cluster.Result, Metrics) {
 	return scanImpl(g, mu, eps, simeval.AllOptimizations)
 }
 
-func scanImpl(g *graph.CSR, mu int, eps float64, opt simeval.Options) (*cluster.Result, Metrics) {
+func scanImpl(g graph.Graph, mu int, eps float64, opt simeval.Options) (*cluster.Result, Metrics) {
 	start := time.Now()
 	n := g.NumVertices()
 	eng := simeval.New(g, eps, opt)
@@ -59,12 +59,12 @@ func scanImpl(g *graph.CSR, mu int, eps float64, opt simeval.Options) (*cluster.
 	// closed ε-neighborhood size (|N^ε[v]| including v itself).
 	epsNeighbors := func(v int32) int {
 		epsBuf = epsBuf[:0]
-		adj, wts := g.Neighbors(v)
-		for i, q := range adj {
-			if eng.SimilarEdge(v, q, wts[i]) {
+		g.EachNeighbor(v, func(_ int, q int32, w float32) bool {
+			if eng.SimilarEdge(v, q, w) {
 				epsBuf = append(epsBuf, q)
 			}
-		}
+			return true
+		})
 		return len(epsBuf) + 1
 	}
 
@@ -117,7 +117,7 @@ func scanImpl(g *graph.CSR, mu int, eps float64, opt simeval.Options) (*cluster.
 
 // buildResult converts raw labels + core flags into a canonical Result with
 // noise classified into hubs and outliers.
-func buildResult(g *graph.CSR, labels []int32, isCore []bool) *cluster.Result {
+func buildResult(g graph.Graph, labels []int32, isCore []bool) *cluster.Result {
 	res := cluster.NewResult(len(labels))
 	for v := range labels {
 		l := labels[v]

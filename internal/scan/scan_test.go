@@ -14,8 +14,8 @@ var algorithms = []struct {
 	name string
 	run  func(g *graph.CSR, mu int, eps float64) (*cluster.Result, Metrics)
 }{
-	{"SCAN", SCAN},
-	{"SCAN-B", SCANB},
+	{"SCAN", func(g *graph.CSR, mu int, eps float64) (*cluster.Result, Metrics) { return SCAN(g, mu, eps) }},
+	{"SCAN-B", func(g *graph.CSR, mu int, eps float64) (*cluster.Result, Metrics) { return SCANB(g, mu, eps) }},
 	{"pSCAN", PSCAN},
 	{"SCAN++", SCANPP},
 }

@@ -10,16 +10,29 @@ import (
 // This file defines the wire types of the anyscand HTTP API, shared by the
 // server handlers, the Go client, and the CLI verbs. All payloads are JSON.
 
+// Graph storage backends a registry entry can be served from.
+const (
+	// FormatCSR is the flat in-memory CSR backend (the default).
+	FormatCSR = "csr"
+	// FormatCompressed serves the varint-compressed backend: .csrz files
+	// stay mmap-backed (near-zero load, larger-than-RAM graphs); other
+	// sources are compressed in memory after loading.
+	FormatCompressed = "compressed"
+)
+
 // GraphSource describes where a registry graph comes from, so a job manifest
 // can reload it after a daemon restart.
 type GraphSource struct {
-	// Path is a graph file (.metis/.graph, .bin, or edge list), exclusive
-	// with Dataset.
+	// Path is a graph file (.metis/.graph, .bin, .csrz, or edge list),
+	// exclusive with Dataset.
 	Path string `json:"path,omitempty"`
 	// Dataset is a synthetic dataset stand-in name (e.g. "GR01L").
 	Dataset string `json:"dataset,omitempty"`
 	// Scale is the dataset scale factor (0 → 1.0); ignored for Path.
 	Scale float64 `json:"scale,omitempty"`
+	// Format selects the storage backend: "" or FormatCSR for flat,
+	// FormatCompressed for the varint-compressed backend.
+	Format string `json:"format,omitempty"`
 }
 
 // LoadGraphRequest asks the server to load a graph into the registry.

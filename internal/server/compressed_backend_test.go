@@ -1,0 +1,165 @@
+package server_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"anyscan/internal/gen"
+	"anyscan/internal/graph"
+	"anyscan/internal/server"
+)
+
+// TestServeFromMmapCompressedGraph is the end-to-end check of the tentpole:
+// anyscand registers a .csrz file, keeps it mmap-backed (no flat CSR is ever
+// materialized on the query path), builds the query index over it, and
+// answers /v1/query byte-identically to the same graph served flat.
+func TestServeFromMmapCompressedGraph(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(3000, 10, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	flatPath := writeGraphFile(t, g, dir)
+	zPath := filepath.Join(dir, "graph.csrz")
+	if err := graph.Compress(g).WriteCompressedFile(zPath); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, c := newTestServer(t, server.ManagerConfig{Workers: 1, Logger: quietLogger()})
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "flat", GraphSource: server.GraphSource{Path: flatPath},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "z", GraphSource: server.GraphSource{Path: zPath},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The .csrz entry must be served from the compressed mmap backend; a
+	// materialized flat copy here would defeat larger-than-RAM serving.
+	ze, err := srv.Registry().Get("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc, ok := ze.G.(*graph.CompressedCSR)
+	if !ok {
+		t.Fatalf("registry backend for .csrz is %T, want *graph.CompressedCSR", ze.G)
+	}
+	if zc.ResidentBytes() >= zc.Bytes() {
+		t.Fatalf("compressed entry fully resident (%d of %d bytes): not mmap-backed",
+			zc.ResidentBytes(), zc.Bytes())
+	}
+
+	want, err := c.Query(tctx, "flat", 5, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(tctx, "z", 5, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clusters != want.Clusters || !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Fatalf("mmap-backed query summary differs: got %d clusters %+v, want %d clusters %+v",
+			got.Clusters, got.Counts, want.Clusters, want.Counts)
+	}
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatal("mmap-backed query assignments differ from the flat backend")
+	}
+
+	// The registry storage gauges must be exported and account for both
+	// backends.
+	metrics, err := c.MetricsText(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"anyscand_graph_bytes", "anyscand_graph_resident_bytes"} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("metrics output lacks %s:\n%s", name, metrics)
+		}
+	}
+}
+
+// TestCompressedFormatRequest loads a flat file with Format "compressed" and
+// verifies the entry is stored compressed yet answers queries identically.
+func TestCompressedFormatRequest(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(2000, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeGraphFile(t, g, t.TempDir())
+	srv, c := newTestServer(t, server.ManagerConfig{Workers: 1, Logger: quietLogger()})
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "flat", GraphSource: server.GraphSource{Path: path},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "packed", GraphSource: server.GraphSource{Path: path, Format: server.FormatCompressed},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pe, err := srv.Registry().Get("packed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pe.G.(*graph.CompressedCSR); !ok {
+		t.Fatalf("format=compressed entry is %T, want *graph.CompressedCSR", pe.G)
+	}
+	want, err := c.Query(tctx, "flat", 4, 0.6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(tctx, "packed", 4, 0.6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatal("compressed-format query differs from the flat backend")
+	}
+
+	// Rejecting unknown formats keeps manifests round-trippable.
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "bad", GraphSource: server.GraphSource{Path: path, Format: "zip"},
+	}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestMutateCompressedBackendFallsBack mutates a graph served from the
+// read-only compressed backend: promotion to a live graph must transparently
+// decompress to a mutable copy instead of failing (or faulting on read-only
+// mmap pages).
+func TestMutateCompressedBackendFallsBack(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(1000, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	zPath := filepath.Join(dir, "graph.csrz")
+	if err := graph.Compress(g).WriteCompressedFile(zPath); err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1, Logger: quietLogger()})
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "z", GraphSource: server.GraphSource{Path: zPath},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(tctx, "z", 3, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Mutate(tctx, "z", []server.MutationSpec{{Op: "add", U: 0, V: 1, W: 1}})
+	if err != nil {
+		t.Fatalf("mutating a compressed-backed graph: %v", err)
+	}
+	if resp.Epoch == 0 {
+		t.Fatalf("mutation published no epoch: %+v", resp)
+	}
+	if _, err := c.QueryEpoch(tctx, "z", 3, 0.5, resp.Epoch, false); err != nil {
+		t.Fatalf("querying the mutated epoch: %v", err)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // explorers lazily derived from it (for profile queries over many ε).
 type indexEntry struct {
 	name    string
-	g       *graph.CSR    // the graph generation the index answers for
+	g       graph.Graph   // the graph generation the index answers for
 	ready   chan struct{} // closed when idx/err are set
 	idx     *index.Index
 	err     error
@@ -49,7 +49,7 @@ type explorerEntry struct {
 // are answered from here — explicitly marked stale — instead of erroring.
 type staleIndex struct {
 	idx   *index.Index
-	g     *graph.CSR // generation the stale index was built on
+	g     graph.Graph // generation the stale index was built on
 	built time.Time
 }
 

@@ -208,7 +208,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.New(ge.G, spec.Options(ge.G.NumVertices()))
+	c, err := core.New(ge.CSR(), spec.Options(ge.G.NumVertices()))
 	if err != nil {
 		return nil, err
 	}
@@ -548,14 +548,14 @@ func (m *Manager) recover() error {
 		}
 		ckpt := m.checkpointPath(man.ID)
 		if _, statErr := os.Stat(ckpt); statErr == nil {
-			c, err := core.LoadCheckpointFile(ge.G, ckpt)
+			c, err := core.LoadCheckpointFile(ge.CSR(), ckpt)
 			if err != nil {
 				m.failRecovered(j, fmt.Errorf("recovering job %s checkpoint: %w", man.ID, err))
 				continue
 			}
 			j.c = c
 		} else {
-			c, err := core.New(ge.G, man.Spec.Options(ge.G.NumVertices()))
+			c, err := core.New(ge.CSR(), man.Spec.Options(ge.G.NumVertices()))
 			if err != nil {
 				m.failRecovered(j, fmt.Errorf("recovering job %s: %w", man.ID, err))
 				continue

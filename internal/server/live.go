@@ -23,7 +23,7 @@ import (
 // first mutation against that graph.
 type liveEntry struct {
 	name  string
-	g     *graph.CSR    // registry generation epoch 0 grew from
+	g     graph.Graph   // registry generation epoch 0 grew from
 	ready chan struct{} // closed when lg/err are set
 	lg    *live.Graph
 	err   error
@@ -90,7 +90,7 @@ func (c *liveCache) get(ctx context.Context, ge *GraphEntry) (*live.Graph, error
 // from an evicted generation). While a live graph is materializing no batch
 // has been applied yet — epoch 0 equals the index — so the index path stays
 // correct until lookup starts returning it.
-func (c *liveCache) lookup(name string, g *graph.CSR) (*live.Graph, bool) {
+func (c *liveCache) lookup(name string, g graph.Graph) (*live.Graph, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[name]
 	c.mu.Unlock()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,12 +12,38 @@ import (
 	"anyscan/internal/graph"
 )
 
-// GraphEntry is one loaded graph in the registry.
+// GraphEntry is one loaded graph in the registry. G is whichever backend the
+// source produced — a flat *graph.CSR or a (possibly mmap-backed) compressed
+// graph; identity of the interface value is the generation check every
+// derived cache (index, live, jobs) keys on.
 type GraphEntry struct {
 	Name   string
 	Source GraphSource
-	G      *graph.CSR
+	G      graph.Graph
 	Loaded time.Time
+
+	// csr lazily materializes a flat CSR view for the few consumers that
+	// need arc-indexed access (the anytime clusterer in particular). For a
+	// CSR-backed entry this is the graph itself; for a compressed entry the
+	// first caller pays one decompression, logged as a warning because it
+	// forfeits the memory the compressed backend saved.
+	csrOnce sync.Once
+	csr     *graph.CSR
+}
+
+// CSR returns a flat *graph.CSR view of the entry's graph, materializing
+// (and caching) it on first use when the backend is compressed.
+func (e *GraphEntry) CSR() *graph.CSR {
+	e.csrOnce.Do(func() {
+		if g, ok := e.G.(*graph.CSR); ok {
+			e.csr = g
+			return
+		}
+		slog.Warn("materializing flat CSR from compressed graph backend (anytime jobs need arc-indexed access)",
+			"graph", e.Name)
+		e.csr = graph.Materialize(e.G)
+	})
+	return e.csr
 }
 
 // Info returns the wire description of the entry.
@@ -75,11 +102,20 @@ func (s GraphSource) validate() error {
 	case s.Path != "" && s.Dataset != "":
 		return fmt.Errorf("graph source must not set both path and dataset")
 	}
+	switch s.Format {
+	case "", FormatCSR, FormatCompressed:
+	default:
+		return fmt.Errorf("unknown graph format %q (want %q or %q)", s.Format, FormatCSR, FormatCompressed)
+	}
 	return nil
 }
 
-// load builds the graph described by the source.
-func (s GraphSource) load() (*graph.CSR, error) {
+// load builds the graph described by the source. Format selects the backend:
+// "" or "csr" loads flat (except .csrz files, which stay mmap-backed
+// compressed — decompressing would defeat the format), "compressed" serves a
+// compressed in-memory graph (encoding it after a flat load when the source
+// is not already a .csrz container).
+func (s GraphSource) load() (graph.Graph, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -88,10 +124,22 @@ func (s GraphSource) load() (*graph.CSR, error) {
 		if scale <= 0 {
 			scale = 1
 		}
-		return datasets.Load(s.Dataset, scale)
+		g, err := datasets.Load(s.Dataset, scale)
+		if err != nil || s.Format != FormatCompressed {
+			return g, err
+		}
+		return graph.Compress(g), nil
 	}
-	g, _, err := graph.LoadFile(s.Path)
-	return g, err
+	g, _, err := graph.LoadAny(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	if s.Format == FormatCompressed {
+		if flat, ok := g.(*graph.CSR); ok {
+			return graph.Compress(flat), nil
+		}
+	}
+	return g, nil
 }
 
 // Load loads (or returns the already-loaded) graph under name. A second Load
@@ -182,4 +230,20 @@ func (r *Registry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.entries)
+}
+
+// BytesUsage sums graph storage across the registry: total logical bytes and
+// the heap/page-cache-resident portion (mmap-backed sections of compressed
+// graphs count toward total but not resident). Exported at /metrics as the
+// anyscand_graph_bytes and anyscand_graph_resident_bytes gauges.
+func (r *Registry) BytesUsage() (total, resident int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if s, ok := e.G.(graph.Sizer); ok {
+			total += s.Bytes()
+			resident += s.ResidentBytes()
+		}
+	}
+	return total, resident
 }

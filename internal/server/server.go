@@ -752,7 +752,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counts := s.jobs.CountByState()
 	liveGraphs, epochLag := s.liveGraphs.stats()
+	graphBytes, graphResident := s.reg.BytesUsage()
 	gauges := []Gauge{
+		{"anyscand_graph_bytes", "Logical bytes of all registry graph storage.", float64(graphBytes)},
+		{"anyscand_graph_resident_bytes", "Heap-resident registry graph bytes (mmap-backed sections excluded).", float64(graphResident)},
 		{"anyscand_live_graphs", "Graphs with a live mutable epoch chain.", float64(liveGraphs)},
 		{"anyscand_epoch_lag", "Largest gap between a demanded epoch and the newest published one.", float64(epochLag)},
 		{"anyscand_graphs_loaded", "Graphs resident in the registry.", float64(s.reg.Len())},

@@ -1,5 +1,7 @@
 package simeval
 
+import "anyscan/internal/graph"
+
 // MemoState is the resolution state of one arc's similarity.
 type MemoState int8
 
@@ -19,16 +21,22 @@ const (
 // sequential, as in the paper.
 type EdgeMemo struct {
 	e     *Engine
+	g     *graph.CSR
 	state []MemoState
 	rev   []int64
 }
 
-// NewEdgeMemo builds a memo over all arcs of the engine's graph.
+// NewEdgeMemo builds a memo over all arcs of the engine's graph. The memo
+// needs arc-indexed lookups and the reverse-edge index, which only the flat
+// CSR backend provides, so a compressed engine graph is materialized here
+// (free when the engine already runs on a *graph.CSR).
 func NewEdgeMemo(e *Engine) *EdgeMemo {
+	g := graph.Materialize(e.G)
 	return &EdgeMemo{
 		e:     e,
-		state: make([]MemoState, e.G.NumArcs()),
-		rev:   e.G.ReverseEdgeIndex(),
+		g:     g,
+		state: make([]MemoState, g.NumArcs()),
+		rev:   g.ReverseEdgeIndex(),
 	}
 }
 
@@ -56,7 +64,7 @@ func (m *EdgeMemo) SimilarArc(p int32, arc int64) bool {
 		m.e.C.Shared.Add(1)
 		return false
 	}
-	q, w := m.e.G.Arc(arc)
+	q, w := m.g.Arc(arc)
 	ok := m.e.SimilarEdge(p, q, w)
 	m.Set(arc, ok)
 	return ok

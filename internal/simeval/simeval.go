@@ -152,8 +152,14 @@ var AllOptimizations = Options{Lemma5: true, EarlyExit: true}
 // use: it is stateless apart from the atomic counters. Parallel hot paths
 // should go through ForWorker, which returns a per-worker view with sharded
 // counters and degree-adaptive, allocation-free join kernels.
+//
+// The engine works on any graph.Graph backend. On a flat *graph.CSR every
+// neighbor access is a slice alias; on a compressed backend the sequential
+// Engine methods decode per call, while WorkerEngine routes all accesses
+// through per-worker cursors so the parallel hot paths stay allocation-free
+// there too.
 type Engine struct {
-	G   *graph.CSR
+	G   graph.Graph
 	Eps float64
 	Opt Options
 	C   Counters
@@ -163,7 +169,7 @@ type Engine struct {
 }
 
 // New returns an Engine for g at threshold eps.
-func New(g *graph.CSR, eps float64, opt Options) *Engine {
+func New(g graph.Graph, eps float64, opt Options) *Engine {
 	return &Engine{G: g, Eps: eps, Opt: opt}
 }
 
@@ -219,7 +225,10 @@ func (e *Engine) Similar(p, q int32) bool {
 // selfTerms + (running dot), the exact float expression of the non-early
 // path, so enabling EarlyExit can never flip a boundary decision.
 func (e *Engine) joinThreshold(p, q int32, selfTerms, threshold float64) bool {
-	return mergeJoinThreshold(e.G, p, q, selfTerms, threshold,
+	pAdj, pW := e.G.Neighbors(p)
+	qAdj, qW := e.G.Neighbors(q)
+	maxTerm := float64(e.G.MaxWeight(p)) * float64(e.G.MaxWeight(q))
+	return mergeJoinThreshold(pAdj, pW, qAdj, qW, maxTerm, selfTerms, threshold,
 		&e.C.EarlyYes.Int64, &e.C.EarlyNo.Int64)
 }
 

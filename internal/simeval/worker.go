@@ -41,6 +41,12 @@ type WorkerEngine struct {
 	e   *Engine
 	c   *Shard
 	hub hubScratch
+	// pc/qc are this worker's decode cursors: every kernel holds p's and q's
+	// adjacency simultaneously, so each endpoint gets its own cursor. On a
+	// flat CSR a cursor access is a plain slice alias; on a compressed backend
+	// it decodes into the cursor's reusable buffer, keeping the parallel hot
+	// path allocation-free on every graph.Graph implementation.
+	pc, qc *graph.Cursor
 }
 
 // hubScratch caches one tail vertex's neighborhood as a membership bitset
@@ -78,7 +84,10 @@ func (e *Engine) growWorker(w int) *WorkerEngine {
 	}
 	for i := range next {
 		if next[i] == nil {
-			next[i] = &WorkerEngine{e: e, c: e.C.Shard(i), hub: hubScratch{v: -1}}
+			next[i] = &WorkerEngine{
+				e: e, c: e.C.Shard(i), hub: hubScratch{v: -1},
+				pc: graph.NewCursor(e.G), qc: graph.NewCursor(e.G),
+			}
 		}
 	}
 	e.wes.Store(&next)
@@ -153,7 +162,11 @@ func (we *WorkerEngine) adaptiveThreshold(p, q int32, selfTerms, threshold float
 	case dp >= gallopRatio*dq || dq >= gallopRatio*dp:
 		return we.gallopThreshold(p, q, selfTerms, threshold)
 	default:
-		return mergeJoinThreshold(we.e.G, p, q, selfTerms, threshold,
+		g := we.e.G
+		pAdj, pW := we.pc.Neighbors(p)
+		qAdj, qW := we.qc.Neighbors(q)
+		maxTerm := float64(g.MaxWeight(p)) * float64(g.MaxWeight(q))
+		return mergeJoinThreshold(pAdj, pW, qAdj, qW, maxTerm, selfTerms, threshold,
 			&we.c.EarlyYes, &we.c.EarlyNo)
 	}
 }
@@ -166,9 +179,13 @@ func (we *WorkerEngine) adaptiveDot(p, q int32) float64 {
 	case dp >= hubMinDegree && dp >= dq:
 		return we.bitsetDot(p, q)
 	case dp >= gallopRatio*dq || dq >= gallopRatio*dp:
-		return gallopDot(we.e.G, p, q)
+		pAdj, pW := we.pc.Neighbors(p)
+		qAdj, qW := we.qc.Neighbors(q)
+		return gallopDotSlices(pAdj, pW, qAdj, qW)
 	default:
-		return we.e.openDot(p, q)
+		pAdj, pW := we.pc.Neighbors(p)
+		qAdj, qW := we.qc.Neighbors(q)
+		return mergeDotSlices(pAdj, pW, qAdj, qW)
 	}
 }
 
@@ -186,12 +203,12 @@ func (we *WorkerEngine) loadHub(p int32) {
 		we.hub.wt = make([]float32, n)
 	}
 	if we.hub.v >= 0 {
-		adj, _ := g.Neighbors(we.hub.v)
+		adj, _ := we.pc.Neighbors(we.hub.v)
 		for _, r := range adj {
 			we.hub.bits[r>>6] = 0
 		}
 	}
-	adj, w := g.Neighbors(p)
+	adj, w := we.pc.Neighbors(p)
 	for i, r := range adj {
 		we.hub.bits[r>>6] |= 1 << (uint(r) & 63)
 		we.hub.wt[r] = w[i]
@@ -207,7 +224,7 @@ func (we *WorkerEngine) loadHub(p int32) {
 func (we *WorkerEngine) bitsetThreshold(p, q int32, selfTerms, threshold float64) bool {
 	we.loadHub(p)
 	g := we.e.G
-	qAdj, qW := g.Neighbors(q)
+	qAdj, qW := we.qc.Neighbors(q)
 	maxTerm := float64(g.MaxWeight(p)) * float64(g.MaxWeight(q))
 	bits, wt := we.hub.bits, we.hub.wt
 	dot := 0.0
@@ -231,7 +248,7 @@ func (we *WorkerEngine) bitsetThreshold(p, q int32, selfTerms, threshold float64
 // bitsetDot is bitsetThreshold without the exits (exact dot product).
 func (we *WorkerEngine) bitsetDot(p, q int32) float64 {
 	we.loadHub(p)
-	qAdj, qW := we.e.G.Neighbors(q)
+	qAdj, qW := we.qc.Neighbors(q)
 	bits, wt := we.hub.bits, we.hub.wt
 	dot := 0.0
 	for j, r := range qAdj {
@@ -247,8 +264,8 @@ func (we *WorkerEngine) bitsetDot(p, q int32) float64 {
 // counts the short list's unscanned entries (≥ the merge join's bound).
 func (we *WorkerEngine) gallopThreshold(p, q int32, selfTerms, threshold float64) bool {
 	g := we.e.G
-	sAdj, sW := g.Neighbors(p)
-	lAdj, lW := g.Neighbors(q)
+	sAdj, sW := we.pc.Neighbors(p)
+	lAdj, lW := we.qc.Neighbors(q)
 	if len(sAdj) > len(lAdj) {
 		sAdj, lAdj = lAdj, sAdj
 		sW, lW = lW, sW
@@ -275,13 +292,6 @@ func (we *WorkerEngine) gallopThreshold(p, q int32, selfTerms, threshold float64
 		}
 	}
 	return selfTerms+dot >= threshold
-}
-
-// gallopDot is gallopThreshold without the exits.
-func gallopDot(g *graph.CSR, p, q int32) float64 {
-	pAdj, pW := g.Neighbors(p)
-	qAdj, qW := g.Neighbors(q)
-	return gallopDotSlices(pAdj, pW, qAdj, qW)
 }
 
 // gallopSearch returns the smallest index k ≥ lo with a[k] ≥ target
@@ -315,13 +325,12 @@ func gallopSearch(a []int32, lo int, target int32) int {
 
 // mergeJoinThreshold is the classic sort-merge join with running bound exits,
 // shared verbatim between Engine (base counters) and WorkerEngine (shard
-// counters). The decision value is always selfTerms + (running dot), the
-// exact float expression of the non-early path, so the exits never flip a
-// boundary decision.
-func mergeJoinThreshold(g *graph.CSR, p, q int32, selfTerms, threshold float64, earlyYes, earlyNo *atomic.Int64) bool {
-	pAdj, pW := g.Neighbors(p)
-	qAdj, qW := g.Neighbors(q)
-	maxTerm := float64(g.MaxWeight(p)) * float64(g.MaxWeight(q))
+// counters). It takes the two sorted adjacency slices (however the caller's
+// backend produced them) plus maxTerm = MaxWeight(p)·MaxWeight(q). The
+// decision value is always selfTerms + (running dot), the exact float
+// expression of the non-early path, so the exits never flip a boundary
+// decision.
+func mergeJoinThreshold(pAdj []int32, pW []float32, qAdj []int32, qW []float32, maxTerm, selfTerms, threshold float64, earlyYes, earlyNo *atomic.Int64) bool {
 	i, j := 0, 0
 	// Upper bound on the remaining numerator contribution.
 	remaining := func() float64 {

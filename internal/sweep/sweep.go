@@ -46,7 +46,7 @@ import (
 // locking. The anyscand service relies on this to cache a single Explorer
 // per (graph, μ) across requests.
 type Explorer struct {
-	g  *graph.CSR
+	g  graph.Graph
 	mu int
 
 	coreThr []float64   // max ε at which v is still a core; 0 = never
@@ -66,34 +66,35 @@ func crossing(num, denom float64) float64 { return simeval.Crossing(num, denom) 
 // NewExplorer evaluates all |E| similarities with the given number of
 // workers and prepares the threshold structures. Cost: one exact σ per
 // undirected edge plus an O(|E| log |E|) sort.
-func NewExplorer(g *graph.CSR, mu int, threads int) (*Explorer, error) {
+func NewExplorer(g graph.Graph, mu int, threads int) (*Explorer, error) {
 	if mu < 1 {
 		return nil, fmt.Errorf("sweep: mu must be >= 1, got %d", mu)
 	}
 	n := g.NumVertices()
 	eng := simeval.New(g, 0, simeval.Options{}) // exact values: no pruning
-	rev := g.ReverseEdgeIndex()
 
 	// Per-arc activation threshold: the largest representable ε at which
 	// the engine's predicate num >= ε*denom still holds. Computing the
 	// exact crossing (rather than the rounded quotient num/denom) keeps the
 	// sweep bit-for-bit consistent with every other algorithm here, even on
 	// unweighted graphs where σ values hit rational boundaries exactly.
+	// Canonical slots (v < q) are evaluated here; mirrors are filled by one
+	// PropagateMirrors pass, which needs no reverse-edge index and therefore
+	// works on compressed backends too.
 	sigma := make([]float64, g.NumArcs())
 	par.For(n, threads, 16, func(i int) {
 		v := int32(i)
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, w := g.Arc(e)
+		lo, _ := g.NeighborRange(v)
+		g.EachNeighbor(v, func(j int, q int32, w float32) bool {
 			if v < q {
 				eng.C.Sims.Add(1)
 				num, denom := eng.EdgeNumerator(v, q, w)
-				s := crossing(num, denom)
-				sigma[e] = s
-				sigma[rev[e]] = s
+				sigma[lo+int64(j)] = crossing(num, denom)
 			}
-		}
+			return true
+		})
 	})
+	graph.PropagateMirrors(g, sigma)
 
 	// coreThr(v): the (μ-1)-th largest σ among v's arcs (v itself provides
 	// one similar member at any ε ≤ 1).
@@ -118,23 +119,30 @@ func NewExplorer(g *graph.CSR, mu int, threads int) (*Explorer, error) {
 
 	// Merge events: each edge joins the two endpoint clusters as soon as ε
 	// falls to min(σ, coreThr(u), coreThr(v)).
+	edges := mergeEvents(g, sigma, coreThr)
+	return &Explorer{g: g, mu: mu, coreThr: coreThr, edges: edges, sigma: sigma}, nil
+}
+
+// mergeEvents collects each undirected edge's merge threshold
+// min(σ, coreThr(u), coreThr(v)) and sorts the events by threshold
+// descending, the replay order ClusteringAt consumes.
+func mergeEvents(g graph.Graph, sigma, coreThr []float64) []mergeEdge {
 	var edges []mergeEdge
-	for v := int32(0); v < int32(n); v++ {
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, _ := g.Arc(e)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		lo, _ := g.NeighborRange(v)
+		g.EachNeighbor(v, func(j int, q int32, _ float32) bool {
 			if v >= q {
-				continue
+				return true
 			}
-			thr := math.Min(sigma[e], math.Min(coreThr[v], coreThr[q]))
+			thr := math.Min(sigma[lo+int64(j)], math.Min(coreThr[v], coreThr[q]))
 			if thr > 0 {
 				edges = append(edges, mergeEdge{thr, v, q})
 			}
-		}
+			return true
+		})
 	}
 	sort.Slice(edges, func(i, j int) bool { return edges[i].thr > edges[j].thr })
-
-	return &Explorer{g: g, mu: mu, coreThr: coreThr, edges: edges, sigma: sigma}, nil
+	return edges
 }
 
 // FromIndex derives a μ-fixed Explorer from a per-graph query index without
@@ -157,22 +165,7 @@ func FromIndex(x *index.Index, mu int) (*Explorer, error) {
 		coreThr[v] = x.CoreThreshold(v, mu)
 	}
 
-	var edges []mergeEdge
-	for v := int32(0); v < int32(n); v++ {
-		lo, hi := g.NeighborRange(v)
-		for e := lo; e < hi; e++ {
-			q, _ := g.Arc(e)
-			if v >= q {
-				continue
-			}
-			thr := math.Min(sigma[e], math.Min(coreThr[v], coreThr[q]))
-			if thr > 0 {
-				edges = append(edges, mergeEdge{thr, v, q})
-			}
-		}
-	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].thr > edges[j].thr })
-
+	edges := mergeEvents(g, sigma, coreThr)
 	return &Explorer{g: g, mu: mu, coreThr: coreThr, edges: edges, sigma: sigma}, nil
 }
 
@@ -209,15 +202,15 @@ func (e *Explorer) ClusteringAt(eps float64) *cluster.Result {
 		if res.Roles[v] == cluster.Core {
 			continue
 		}
-		lo, hi := e.g.NeighborRange(v)
-		for arc := lo; arc < hi; arc++ {
-			q, _ := e.g.Arc(arc)
-			if e.coreThr[q] >= eps && e.sigma[arc] >= eps {
+		lo, _ := e.g.NeighborRange(v)
+		e.g.EachNeighbor(v, func(j int, q int32, _ float32) bool {
+			if e.coreThr[q] >= eps && e.sigma[lo+int64(j)] >= eps {
 				res.Roles[v] = cluster.Border
 				res.Labels[v] = ds.Find(q)
-				break
+				return false
 			}
-		}
+			return true
+		})
 	}
 	cluster.ClassifyNoise(e.g, res)
 	res.Canonicalize()

@@ -13,7 +13,7 @@ type SweepProfile = sweep.Profile
 
 // NewExplorer prepares an ε-exploration structure for (g, μ) using the
 // given number of workers (0 = GOMAXPROCS).
-func NewExplorer(g *Graph, mu int, threads int) (*Explorer, error) {
+func NewExplorer(g GraphView, mu int, threads int) (*Explorer, error) {
 	return sweep.NewExplorer(g, mu, threads)
 }
 
