@@ -28,12 +28,13 @@ import (
 //	anyscan remote result  -addr URL -job j1 [-assignments]
 //	anyscan remote pause | resume | cancel -addr URL -job j1
 //	anyscan remote query   -addr URL -graph g -mu 5 [-eps 0.5 | -eps-list 0.3,0.5 | -limit 8] [-min-epoch 3]
+//	anyscan remote local   -addr URL -graph g -vertex 42 -mu 5 -eps 0.5 [-min-epoch 3] [-no-members]
 //	anyscan remote mutate  -addr URL -graph g -ops add:1:2:0.8,del:3:4,rw:1:2:1.5
 //	anyscan remote cluster -addr URL -graph g -mu 5 -eps 0.5   (deprecated: use query)
 //	anyscan remote sweep   -addr URL -graph g -mu 5 [-eps-list 0.3,0.5]   (deprecated: use query)
 func remoteMain(args []string) {
 	if len(args) == 0 {
-		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|query|mutate|cluster|sweep> [flags]"))
+		fatal(fmt.Errorf("usage: anyscan remote <load|graphs|evict|submit|jobs|status|snapshot|result|pause|resume|cancel|query|local|mutate|cluster|sweep> [flags]"))
 	}
 	verb, args := args[0], args[1:]
 	fs := flag.NewFlagSet("remote "+verb, flag.ExitOnError)
@@ -47,7 +48,9 @@ func remoteMain(args []string) {
 	eps := fs.Float64("eps", 0.5, "ε: structural similarity threshold")
 	epsList := fs.String("eps-list", "", "comma-separated ε values (query/sweep profile)")
 	limit := fs.Int("limit", 0, "max auto-picked ε thresholds for a query profile (0 = server default)")
-	minEpoch := fs.Int64("min-epoch", 0, "query: wait for this live epoch before answering (read-your-writes)")
+	minEpoch := fs.Int64("min-epoch", 0, "query/local: wait for this live epoch before answering (read-your-writes)")
+	vertex := fs.Int64("vertex", -1, "local: seed vertex id")
+	noMembers := fs.Bool("no-members", false, "local: omit the member list (summary only)")
 	ops := fs.String("ops", "", "mutate: comma-separated add:u:v:w, del:u:v, rw:u:v:w operations")
 	threads := fs.Int("threads", 0, "worker count for the job (0 = server default)")
 	seed := fs.Int64("seed", 0, "random seed for the job (0 = server default)")
@@ -137,6 +140,11 @@ func remoteMain(args []string) {
 		default:
 			out, err = c.QueryProfile(ctx, needGraph(), *mu, nil, *limit)
 		}
+	case "local":
+		if *vertex < 0 {
+			fatal(fmt.Errorf("remote local needs -vertex ID (the seed vertex)"))
+		}
+		out, err = c.LocalEpoch(ctx, needGraph(), int32(*vertex), *mu, *eps, *minEpoch, !*noMembers)
 	case "mutate":
 		if *ops == "" {
 			fatal(fmt.Errorf("remote mutate needs -ops LIST (e.g. add:1:2:0.8,del:3:4)"))

@@ -38,6 +38,7 @@ func main() {
 	format := flag.String("format", "csr", "graph storage backend for the -json index rows: csr | compressed")
 	goBench := flag.String("gobench", "", "also render the -json report in `go test -bench` format to this path (benchstat-compatible)")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json reports: benchrunner -compare old.json new.json")
+	failOnMissing := flag.Bool("fail-on-missing", false, "-compare: exit non-zero when a baseline cell has no counterpart in the new report (coverage regressions; timing deltas stay informational)")
 	flag.Parse()
 
 	if *compare {
@@ -59,6 +60,13 @@ func main() {
 		if err := bench.WriteComparison(os.Stdout, oldRep, newRep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
+		}
+		if *failOnMissing {
+			_, onlyOld, _ := bench.CompareReports(oldRep, newRep)
+			if len(onlyOld) > 0 {
+				fmt.Fprintf(os.Stderr, "benchrunner: %d baseline cell(s) missing from the new report (coverage regression)\n", len(onlyOld))
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -25,8 +25,9 @@ func LoadReport(path string) (Report, error) {
 }
 
 // recordKey identifies a measurement cell across two reports: same dataset,
-// algorithm, thread count and — for index-query rows — the same (μ, ε), and
-// — for live-mutation rows — the same batch size.
+// algorithm, thread count and — for index-query rows — the same (μ, ε), —
+// for live-mutation rows — the same batch size, and — for local-query rows
+// — the same seed vertex.
 type recordKey struct {
 	Dataset   string
 	Algorithm string
@@ -34,10 +35,11 @@ type recordKey struct {
 	Mu        int
 	Eps       float64
 	Batch     int
+	Seed      int32
 }
 
 func keyOf(r Record) recordKey {
-	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps, r.Batch}
+	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps, r.Batch, r.Seed}
 }
 
 func (k recordKey) String() string {
@@ -47,6 +49,9 @@ func (k recordKey) String() string {
 	}
 	if k.Batch != 0 {
 		s += fmt.Sprintf("/batch=%d", k.Batch)
+	}
+	if k.Algorithm == "local-query" {
+		s += fmt.Sprintf("/seed=%d", k.Seed)
 	}
 	return s
 }
@@ -149,6 +154,9 @@ func (rep Report) WriteGoBench(w io.Writer) error {
 		}
 		if r.Batch != 0 {
 			name += fmt.Sprintf("/batch-%d", r.Batch)
+		}
+		if r.Algorithm == "local-query" {
+			name += fmt.Sprintf("/seed-%d", r.Seed)
 		}
 		ns := r.WallMS * 1e6
 		if _, err := fmt.Fprintf(w, "%s \t%8d\t%12.0f ns/op\t%12d sim-evals\n",

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"time"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/index"
+	"anyscan/internal/local"
+)
+
+// measureLocal records per-seed local community queries at (cfg.Mu,
+// cfg.Eps). The seeds are derived deterministically from the global
+// clustering — cores of the largest, median, and smallest clusters, the
+// first border, and the first noise vertex — so the same dataset at the
+// same parameters always produces the same baseline cells, which is what
+// lets CI compare them against a committed reference.
+//
+// The Touched column of these rows is the point of the experiment: for
+// seeds outside the giant component it must stay a small fraction of |V|
+// (the local query visits only the community and its fringe), while the
+// matching index-query row pays the full O(|V|) result allocation.
+func (cfg Config) measureLocal(base Record, x *index.Index) ([]Record, error) {
+	res, err := x.Query(cfg.Mu, cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, seed := range localSeeds(res) {
+		rec := base
+		rec.Algorithm = "local-query"
+		rec.Threads = 1
+		rec.Mu, rec.Eps = cfg.Mu, cfg.Eps
+		rec.Seed = seed
+		start := time.Now()
+		lr, err := local.Query(x, seed, cfg.Mu, cfg.Eps)
+		if err != nil {
+			return nil, err
+		}
+		rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		rec.Community = len(lr.Members)
+		rec.Touched = lr.Touched
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// localSeeds picks the deterministic seed set from a global clustering:
+// the smallest core vertex of the largest, median, and smallest clusters
+// (the interesting spread of community sizes), plus the first border and
+// the first noise vertex when they exist. Duplicates collapse.
+func localSeeds(res *cluster.Result) []int32 {
+	var seeds []int32
+	add := func(v int32) {
+		for _, s := range seeds {
+			if s == v {
+				return
+			}
+		}
+		seeds = append(seeds, v)
+	}
+	sizes := res.ClusterSizes()
+	if len(sizes) > 0 {
+		largest, smallest := int32(0), int32(0)
+		for l := range sizes {
+			if sizes[l] > sizes[largest] {
+				largest = int32(l)
+			}
+			if sizes[l] < sizes[smallest] {
+				smallest = int32(l)
+			}
+		}
+		// Median by size rank: sort labels by (size, label) and take the middle.
+		order := make([]int32, len(sizes))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		for i := 1; i < len(order); i++ { // insertion sort: label count is small
+			for j := i; j > 0; j-- {
+				a, b := order[j-1], order[j]
+				if sizes[a] < sizes[b] || (sizes[a] == sizes[b] && a < b) {
+					break
+				}
+				order[j-1], order[j] = b, a
+			}
+		}
+		median := order[len(order)/2]
+		for _, label := range []int32{largest, median, smallest} {
+			if v, ok := firstCoreOf(res, label); ok {
+				add(v)
+			}
+		}
+	}
+	for v := 0; v < res.N(); v++ {
+		if res.Roles[v] == cluster.Border {
+			add(int32(v))
+			break
+		}
+	}
+	for v := 0; v < res.N(); v++ {
+		if res.Roles[v].IsNoise() {
+			add(int32(v))
+			break
+		}
+	}
+	return seeds
+}
+
+// firstCoreOf returns the smallest core vertex of the cluster.
+func firstCoreOf(res *cluster.Result, label int32) (int32, bool) {
+	for v := 0; v < res.N(); v++ {
+		if res.Labels[v] == label && res.Roles[v] == cluster.Core {
+			return int32(v), true
+		}
+	}
+	return 0, false
+}

@@ -20,14 +20,23 @@ import (
 // answering that query from the index (zero σ evaluations).
 // "mutate-apply", "index-patch", and "index-rebuild" rows measure the live
 // mutable-graph write path; their Batch field is the mutation-batch size the
-// row was measured at.
+// row was measured at. "local-query" rows measure seed-centered community
+// expansion from the index: each carries its seed vertex, the size of the
+// community it returned, and how many vertices the expansion touched — the
+// evidence that local answers cost ≪ |V|.
 type Record struct {
 	Dataset   string  `json:"dataset"`
 	Algorithm string  `json:"algorithm"`
 	Threads   int     `json:"threads"`
-	Mu        int     `json:"mu,omitempty"`    // index-query rows only
-	Eps       float64 `json:"eps,omitempty"`   // index-query rows only
+	Mu        int     `json:"mu,omitempty"`    // index-query / local-query rows
+	Eps       float64 `json:"eps,omitempty"`   // index-query / local-query rows
 	Batch     int     `json:"batch,omitempty"` // live-mutation rows only
+	// Seed, Community, and Touched are set on "local-query" rows only: the
+	// seed vertex the expansion started from, the membership size it
+	// returned, and the distinct vertices whose neighbor order it scanned.
+	Seed      int32   `json:"seed,omitempty"`
+	Community int     `json:"community,omitempty"`
+	Touched   int     `json:"touched,omitempty"`
 	WallMS    float64 `json:"wall_ms"`
 	SimEvals  int64   `json:"sim_evals"`
 	Clusters  int     `json:"clusters"`
@@ -130,6 +139,11 @@ func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
 		return nil, err
 	}
 	out = append(out, recs...)
+	locals, err := cfg.measureLocal(base, x)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, locals...)
 	live, err := cfg.measureLive(base, g, x)
 	if err != nil {
 		return nil, err

@@ -17,7 +17,10 @@ func TestCollectRecords(t *testing.T) {
 	}
 	// 4 batch baselines + one anySCAN row per thread count + 1 compress-encode
 	// + 1 index build + a 2×3 (μ, ε) query grid + 1 mutate-apply row + an
-	// index-patch and index-rebuild pair per live batch size.
+	// index-patch and index-rebuild pair per live batch size — plus one
+	// local-query row per deterministic seed (largest/median/smallest
+	// cluster cores, first border, first noise vertex; duplicates collapse,
+	// so the count is graph-dependent but bounded by 5).
 	g, err := cfg.load("GR01L")
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +31,16 @@ func TestCollectRecords(t *testing.T) {
 			sizes++
 		}
 	}
-	want := 4 + len(cfg.Threads) + 1 + 1 + 6 + 1 + 2*sizes
+	locals := 0
+	for _, r := range rep.Records {
+		if r.Algorithm == "local-query" {
+			locals++
+		}
+	}
+	if locals < 1 || locals > 5 {
+		t.Fatalf("got %d local-query rows, want 1-5", locals)
+	}
+	want := 4 + len(cfg.Threads) + 1 + 1 + 6 + locals + 1 + 2*sizes
 	if len(rep.Records) != want {
 		t.Fatalf("got %d records, want %d", len(rep.Records), want)
 	}
@@ -55,6 +67,19 @@ func TestCollectRecords(t *testing.T) {
 			if r.Mu < 1 || r.Eps <= 0 {
 				t.Errorf("index-query record missing parameters: %+v", r)
 			}
+		} else if r.Algorithm == "local-query" {
+			// Seed-centered expansion from the prebuilt index: no σ work, and
+			// the seed plus the touched count ride along as the evidence of
+			// output-proportional cost.
+			if r.SimEvals != 0 {
+				t.Errorf("local-query (seed=%d): %d σ evaluations, want 0", r.Seed, r.SimEvals)
+			}
+			if r.Seed < 0 || r.Touched < 1 || r.Touched > r.Vertices {
+				t.Errorf("local-query record implausible: %+v", r)
+			}
+			if r.Mu < 1 || r.Eps <= 0 {
+				t.Errorf("local-query record missing parameters: %+v", r)
+			}
 		} else if r.SimEvals <= 0 {
 			t.Errorf("%s (threads=%d): no similarity evaluations recorded", r.Algorithm, r.Threads)
 		}
@@ -75,7 +100,7 @@ func TestCollectRecords(t *testing.T) {
 	clusters := rep.Records[0].Clusters
 	for _, r := range rep.Records {
 		switch {
-		case r.Algorithm == "index-build" || r.Algorithm == "compress-encode":
+		case r.Algorithm == "index-build" || r.Algorithm == "compress-encode" || r.Algorithm == "local-query":
 		case r.Algorithm == "mutate-apply" || r.Algorithm == "index-patch" || r.Algorithm == "index-rebuild":
 			// Write-path rows measure mutations, not a clustering; they carry
 			// the batch size instead.

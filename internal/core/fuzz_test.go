@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"anyscan/internal/testutil"
+)
+
+// FuzzLoadCheckpoint feeds arbitrary bytes to the checkpoint v2 loader: any
+// input must either be rejected with an error or restore a Clusterer that
+// steps to completion — never panic, never resume into an
+// index-out-of-range crash. The corpus seeds a pristine mid-run checkpoint
+// plus the corruption shapes of TestCheckpointCorruptionTable (truncations,
+// header and payload bit flips).
+func FuzzLoadCheckpoint(f *testing.F) {
+	g := testutil.Karate()
+	o := opts(3, 0.5, 1, 8, 8)
+	c, err := New(g, o)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 2 && c.Step(); i++ {
+	}
+	var buf bytes.Buffer
+	if err := c.SaveCheckpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:19])
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	for _, off := range []int{0, 4, 8, 16, 20, len(valid) / 2, len(valid) - 1} {
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0x01
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := LoadCheckpoint(g, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for c.Step() {
+		}
+		if res := c.Snapshot(); res.NumClusters < 0 {
+			t.Fatalf("resumed run produced %d clusters", res.NumClusters)
+		}
+	})
+}

@@ -321,6 +321,11 @@ func (c *CompressedCSR) Close() error {
 // and symmetry) plus the compressed-specific ones (offset monotonicity,
 // exact byte consumption per vertex). O(|arcs| · log d̄); intended for
 // loaders handling untrusted files and for tests, not hot paths.
+//
+// The check runs in two passes so it never trips the decoder's corrupt-varint
+// panic: pass 1 proves every vertex's stream decodes cleanly on its own, and
+// only then does pass 2 cross-reference streams (EdgeWeight on the reverse
+// edge) for the symmetry check.
 func (c *CompressedCSR) Validate() error {
 	if err := c.validateOffsets(); err != nil {
 		return err
@@ -328,11 +333,7 @@ func (c *CompressedCSR) Validate() error {
 	n := int32(c.n)
 	nbr := make([]int32, c.maxDeg)
 	for v := int32(0); v < n; v++ {
-		d := c.Degree(v)
-		if d > c.maxDeg {
-			return fmt.Errorf("graph: vertex %d degree %d exceeds recorded max %d", v, d, c.maxDeg)
-		}
-		adj := nbr[:d]
+		adj := nbr[:c.Degree(v)]
 		pos := c.byteOf[v]
 		prev := int64(v)
 		for i := range adj {
@@ -358,6 +359,10 @@ func (c *CompressedCSR) Validate() error {
 			return fmt.Errorf("graph: vertex %d adjacency decodes %d bytes, frame says %d",
 				v, pos-c.byteOf[v], c.byteOf[v+1]-c.byteOf[v])
 		}
+	}
+	for v := int32(0); v < n; v++ {
+		adj := nbr[:c.Degree(v)]
+		c.decodeIDs(v, adj)
 		var wts []float32
 		if !c.unit {
 			wts = c.weights[c.arcOff[v]:c.arcOff[v+1]]

@@ -50,6 +50,57 @@ func FuzzLoadMETIS(f *testing.F) {
 	})
 }
 
+// FuzzReadCompressed hammers the .csrz container loader: whatever the bytes,
+// ReadCompressed must either return an error or a graph whose Validate passes
+// without panicking (Validate's two-pass structure is what guarantees the
+// cross-stream symmetry check never trips the decoder's corrupt-varint
+// panic). A graph that fully validates must also round-trip through
+// Decompress into a CSR that satisfies the flat invariants.
+func FuzzReadCompressed(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Compress(randomGraphWeighted(20, 50, 1)).WriteCompressed(&buf); err != nil {
+		f.Fatal(err)
+	}
+	// A unit-weight seed exercises the weightless container layout too.
+	var ub Builder
+	ub.SetNumVertices(6)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}} {
+		ub.AddEdge(e[0], e[1], 1)
+	}
+	ug, err := ub.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var unit bytes.Buffer
+	if err := Compress(ug).WriteCompressed(&unit); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(unit.Bytes())
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:20]) // header only
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	for _, off := range []int{0, 4, 8, 16, 24, 32, 52, len(valid) - 1} {
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCompressed(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			return // structurally invalid but well-framed: rejected, not panicked
+		}
+		if err := c.Decompress().Validate(); err != nil {
+			t.Fatalf("validated compressed graph decompresses invalid: %v", err)
+		}
+	})
+}
+
 func FuzzReadBinary(f *testing.F) {
 	var buf bytes.Buffer
 	g := randomGraphWeighted(20, 50, 1)

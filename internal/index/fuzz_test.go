@@ -1,0 +1,46 @@
+package index_test
+
+import (
+	"bytes"
+	"testing"
+
+	"anyscan/internal/index"
+	"anyscan/internal/testutil"
+)
+
+// FuzzLoadIndex feeds arbitrary bytes to the persisted-index loader: it must
+// either reject them with an error or return an index that answers queries —
+// never panic, never poison later queries with out-of-range σ values. The
+// corpus seeds a pristine save plus the corruption shapes of
+// TestLoadRejectsDamage (truncations, header and payload bit flips).
+func FuzzLoadIndex(f *testing.F) {
+	g := testutil.Karate()
+	var buf bytes.Buffer
+	if err := index.Build(g, 1).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:19])
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	for _, off := range []int{0, 4, 8, 16, 20, len(valid) / 2, len(valid) - 1} {
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0x01
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := index.Load(g, bytes.NewReader(data), 1)
+		if err != nil {
+			return
+		}
+		res, err := x.Query(2, 0.5)
+		if err != nil {
+			t.Fatalf("loaded index cannot answer a basic query: %v", err)
+		}
+		if res.NumClusters < 0 {
+			t.Fatalf("loaded index returned %d clusters", res.NumClusters)
+		}
+	})
+}

@@ -178,6 +178,11 @@ func (x *Index) sortNeighborsCtx(ctx context.Context, threads int) error {
 // caller supplied to Build or Load).
 func (x *Index) Graph() graph.Graph { return x.g }
 
+// NumVertices returns the vertex count of the indexed graph. Together with
+// NeighborOrder and CoreThreshold it makes the index a local.View, so
+// seed-centered community queries can run straight off the index.
+func (x *Index) NumVertices() int { return x.g.NumVertices() }
+
 // SimEvals returns the number of exact σ evaluations Build performed: one
 // per undirected edge, or 0 for an index restored by Load.
 func (x *Index) SimEvals() int64 { return x.simEvals }

@@ -190,6 +190,17 @@ func (e *Epoch) CoreThreshold(v int32, mu int) float64 {
 	return e.segs[v].coreThreshold(mu)
 }
 
+// NeighborOrder returns v's σ-sorted neighbor order at this epoch: neighbor
+// ids sorted by σ descending (ties by id ascending) and the parallel
+// activation thresholds. The slices alias the epoch's segment storage —
+// callers must treat them as read-only (epochs are immutable, so the data
+// never changes underneath them). Together with NumVertices and
+// CoreThreshold this makes an Epoch a local.View for seed-centered queries.
+func (e *Epoch) NeighborOrder(v int32) (ids []int32, sigs []float64) {
+	s := e.segs[v]
+	return s.onbr, s.osig
+}
+
 // coreOrderFor returns the memoized core order for μ, deriving it on first
 // use exactly as index.coreOrderFor does.
 func (e *Epoch) coreOrderFor(mu int) *coreOrder {

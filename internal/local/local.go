@@ -1,0 +1,232 @@
+// Package local answers seed-centered SCAN community queries in time
+// proportional to the answer, not the graph (cf. Parallel Local Graph
+// Clustering, Shun et al.; see PAPERS.md).
+//
+// A GS*-style index (package index) or a live epoch (package live) already
+// stores, for every vertex, its neighbors sorted by descending activation
+// threshold σ and an O(1) core threshold per μ. From those two accessors a
+// community can be grown outward from a seed without ever looking at the
+// rest of the graph:
+//
+//   - the ε-similar neighbors of any vertex are a prefix of its σ-sorted
+//     order, so one scan per frontier vertex suffices;
+//   - whether a neighbor is a core at (μ, ε) is one threshold lookup;
+//   - σ is symmetric, so a border candidate's *own* similar prefix contains
+//     exactly the cores that claim it — the global "smallest claiming core"
+//     rule of index.Query can be replayed from the candidate's side without
+//     global state.
+//
+// Query therefore visits only the seed's core component (BFS over similar
+// core-core edges), its border fringe, and — for noise seeds — the similar
+// prefixes needed to tell hubs from outliers. Membership is byte-identical
+// to what full index.Query(μ, ε) assigns that component.
+package local
+
+import (
+	"fmt"
+	"slices"
+
+	"anyscan/internal/cluster"
+)
+
+// View is the indexed-graph surface a local query needs: both *index.Index
+// and *live.Epoch satisfy it. Implementations must use the canonical
+// neighbor-order comparator (σ descending, ties by id ascending) and the
+// GS* core-threshold definition, or results will diverge from the global
+// query they are meant to replay.
+type View interface {
+	// NumVertices returns the vertex count of the underlying graph.
+	NumVertices() int
+	// NeighborOrder returns v's neighbors sorted by σ descending (ties by id
+	// ascending) and the parallel activation thresholds. The slices may alias
+	// internal storage; Query treats them as read-only.
+	NeighborOrder(v int32) (ids []int32, sigs []float64)
+	// CoreThreshold returns the largest ε at which v is a core at μ
+	// (0 = never a core).
+	CoreThreshold(v int32, mu int) float64
+}
+
+// Result is the answer to one local query: the seed's role under the global
+// clustering at (μ, ε) and — when the seed belongs to a cluster — that
+// cluster's full membership.
+type Result struct {
+	Seed int32
+	Mu   int
+	Eps  float64
+
+	// Role is the seed's role in the full clustering: Core or Border when the
+	// seed belongs to a cluster, Hub or Outlier when it is noise.
+	Role cluster.Role
+
+	// Members lists the seed's community in ascending vertex order, exactly
+	// the vertices full index.Query(μ, ε) assigns the seed's cluster label.
+	// Nil when the seed is noise.
+	Members []int32
+	// Roles is parallel to Members: Core or Border per member.
+	Roles []cluster.Role
+
+	// Touched counts the distinct vertices whose neighbor order the query
+	// scanned — the measure of output-proportional cost (|Touched| ≪ |V|
+	// whenever the community is small).
+	Touched int
+}
+
+// Query expands the seed's community at (μ, ε) from v. See the package
+// comment for the algorithm; the contract is byte-identical membership and
+// roles to the seed's component under the full index/epoch Query.
+func Query(v View, seed int32, mu int, eps float64) (*Result, error) {
+	if mu < 1 {
+		return nil, fmt.Errorf("local: mu must be >= 1, got %d", mu)
+	}
+	if !(eps > 0 && eps <= 1) {
+		return nil, fmt.Errorf("local: eps must be in (0,1], got %v", eps)
+	}
+	n := v.NumVertices()
+	if seed < 0 || int(seed) >= n {
+		return nil, fmt.Errorf("local: seed vertex %d out of range [0, %d)", seed, n)
+	}
+
+	st := &state{v: v, mu: mu, eps: eps, scanned: map[int32]bool{}}
+	res := &Result{Seed: seed, Mu: mu, Eps: eps}
+	if st.isCore(seed) {
+		res.Role = cluster.Core
+		st.expand(seed)
+	} else if c, ok := st.minClaimingCore(seed); ok {
+		// The smallest qualifying core in the seed's own similar prefix is
+		// exactly the core the global query attaches the seed to.
+		res.Role = cluster.Border
+		st.expand(c)
+	} else {
+		res.Role = st.classifyNoiseSeed(seed)
+		res.Touched = len(st.scanned)
+		return res, nil
+	}
+	res.Members, res.Roles = st.community()
+	res.Touched = len(st.scanned)
+	return res, nil
+}
+
+// state is the sparse working set of one query. Everything is keyed by
+// vertex id in maps, so memory stays proportional to the frontier rather
+// than |V|.
+type state struct {
+	v   View
+	mu  int
+	eps float64
+
+	cores   map[int32]bool // the seed's full core component
+	borders map[int32]bool // non-core similar neighbors of those cores
+	scanned map[int32]bool // vertices whose neighbor order was read
+}
+
+func (st *state) isCore(q int32) bool { return st.v.CoreThreshold(q, st.mu) >= st.eps }
+
+// scanSimilar visits the ε-similar prefix of u's σ-sorted neighbor order.
+func (st *state) scanSimilar(u int32, fn func(q int32)) {
+	st.scanned[u] = true
+	ids, sigs := st.v.NeighborOrder(u)
+	for j, q := range ids {
+		if sigs[j] < st.eps {
+			break // sorted descending: the rest are dissimilar too
+		}
+		fn(q)
+	}
+}
+
+// expand grows the full core component containing start (which must be a
+// core) by BFS over similar core-core edges — the same edges the global
+// query unions over — and collects the non-core similar neighbors seen on
+// the way as border candidates.
+func (st *state) expand(start int32) {
+	st.cores = map[int32]bool{start: true}
+	st.borders = map[int32]bool{}
+	queue := []int32{start}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		st.scanSimilar(u, func(q int32) {
+			if st.isCore(q) {
+				if !st.cores[q] {
+					st.cores[q] = true
+					queue = append(queue, q)
+				}
+			} else {
+				st.borders[q] = true
+			}
+		})
+	}
+}
+
+// minClaimingCore returns the smallest qualifying core in q's similar
+// prefix — by σ symmetry, exactly the set of cores whose similar prefixes
+// contain q, i.e. the cores that claim q in the global query. The global
+// rule attaches q to the minimum of that set.
+func (st *state) minClaimingCore(q int32) (int32, bool) {
+	claim := int32(-1)
+	st.scanSimilar(q, func(c int32) {
+		if st.isCore(c) && (claim == -1 || c < claim) {
+			claim = c
+		}
+	})
+	return claim, claim >= 0
+}
+
+// community materializes the expanded component: all its cores plus every
+// border candidate whose smallest claiming core lies inside the component.
+// A candidate adjacent to this community may still be claimed by a smaller
+// core of a *different* cluster — checking the candidate's own minimum
+// keeps membership identical to the global assignment.
+func (st *state) community() ([]int32, []cluster.Role) {
+	members := make([]int32, 0, len(st.cores)+len(st.borders))
+	for u := range st.cores {
+		members = append(members, u)
+	}
+	for q := range st.borders {
+		if c, ok := st.minClaimingCore(q); ok && st.cores[c] {
+			members = append(members, q)
+		}
+	}
+	slices.Sort(members)
+	roles := make([]cluster.Role, len(members))
+	for i, u := range members {
+		if st.cores[u] {
+			roles[i] = cluster.Core
+		} else {
+			roles[i] = cluster.Border
+		}
+	}
+	return members, roles
+}
+
+// classifyNoiseSeed splits a noise seed into hub or outlier with the exact
+// semantics of cluster.ClassifyNoise: a hub has neighbors in ≥ 2 distinct
+// clusters. Each labeled neighbor is represented by a core of its cluster
+// (itself if a core, else its smallest claiming core); two representatives
+// are in the same cluster iff they share a core component, which one
+// expansion of the first representative's component decides.
+func (st *state) classifyNoiseSeed(seed int32) cluster.Role {
+	// Hub detection looks at all neighbors, similar or not, exactly like the
+	// global pass — so scan the full order, not just the similar prefix.
+	st.scanned[seed] = true
+	ids, _ := st.v.NeighborOrder(seed)
+	var reps []int32
+	for _, q := range ids {
+		if st.isCore(q) {
+			reps = append(reps, q)
+		} else if c, ok := st.minClaimingCore(q); ok {
+			reps = append(reps, c)
+		}
+	}
+	slices.Sort(reps)
+	reps = slices.Compact(reps)
+	if len(reps) < 2 {
+		return cluster.Outlier
+	}
+	st.expand(reps[0])
+	for _, c := range reps[1:] {
+		if !st.cores[c] {
+			return cluster.Hub
+		}
+	}
+	return cluster.Outlier
+}

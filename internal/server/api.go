@@ -290,6 +290,35 @@ type MutateResponse struct {
 	SigmaRecomputed int64   `json:"sigma_recomputed"`
 }
 
+// LocalResponse answers GET /v1/local: the seed-centered community query.
+// Role is the seed's role under the full clustering at (μ, ε) ("core",
+// "border", "hub", "outlier"); Members/Roles carry the exact community when
+// the seed belongs to one (suppress with ?members=0 to get the summary
+// only). Touched is the number of vertices the expansion visited — the
+// output-proportional cost of the answer.
+type LocalResponse struct {
+	Graph    string  `json:"graph"`
+	Seed     int32   `json:"seed"`
+	Mu       int     `json:"mu"`
+	Eps      float64 `json:"eps"`
+	Role     string  `json:"role"`
+	CacheHit bool    `json:"cache_hit"`
+	// Stale marks a degraded-mode answer served from the last good index;
+	// the response also carries an X-Anyscan-Stale: 1 header.
+	Stale bool `json:"stale,omitempty"`
+	// Epoch is the live-graph epoch the answer was computed on; present only
+	// for graphs that have been mutated.
+	Epoch   int64   `json:"epoch,omitempty"`
+	BuildMS float64 `json:"build_ms,omitempty"` // index build time (cache miss only)
+	QueryMS float64 `json:"query_ms"`
+	Size    int     `json:"size"`    // community size (0 for noise seeds)
+	Touched int     `json:"touched"` // vertices the expansion visited
+	Members []int32 `json:"members,omitempty"`
+	// Roles is parallel to Members, encoding cluster.Role per member
+	// (3 border, 4 core).
+	Roles []int8 `json:"roles,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

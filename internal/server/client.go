@@ -387,6 +387,34 @@ func (c *Client) QueryEpoch(ctx context.Context, graphName string, mu int, eps f
 	return resp, err
 }
 
+// Local runs a seed-centered community query against GET /v1/local: which
+// community does seed belong to at (μ, ε)? The response carries the exact
+// membership (identical to the seed's cluster under a full Query) computed
+// in output-proportional time on the server.
+func (c *Client) Local(ctx context.Context, graphName string, seed int32, mu int, eps float64, withMembers bool) (LocalResponse, error) {
+	return c.LocalEpoch(ctx, graphName, seed, mu, eps, 0, withMembers)
+}
+
+// LocalEpoch is Local with a read-your-writes bound: with minEpoch > 0 the
+// server answers from a live epoch at least that new, waiting (up to the
+// request deadline) for a writer to publish it.
+func (c *Client) LocalEpoch(ctx context.Context, graphName string, seed int32, mu int, eps float64, minEpoch int64, withMembers bool) (LocalResponse, error) {
+	var resp LocalResponse
+	q := url.Values{}
+	q.Set("graph", graphName)
+	q.Set("seed", strconv.FormatInt(int64(seed), 10))
+	q.Set("mu", strconv.Itoa(mu))
+	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	if minEpoch > 0 {
+		q.Set("min_epoch", strconv.FormatInt(minEpoch, 10))
+	}
+	if !withMembers {
+		q.Set("members", "0")
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/local?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
 // Mutate applies one batch of edge mutations to a graph via POST
 // /v1/graphs/{name}/edges, returning the epoch token the batch published.
 func (c *Client) Mutate(ctx context.Context, graphName string, muts []MutationSpec) (MutateResponse, error) {

@@ -180,6 +180,17 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("mutation %d: %w", i, err))
 			return
 		}
+		// Validate endpoint ranges before materializing the live graph:
+		// live.Apply re-validates the whole batch, but a bad vertex id must
+		// not first trigger the (expensive) epoch-0 index build.
+		if err := vertexInRange(m.U, ge.G.NumVertices()); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("mutation %d: %w", i, err))
+			return
+		}
+		if err := vertexInRange(m.V, ge.G.NumVertices()); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("mutation %d: %w", i, err))
+			return
+		}
 		muts[i] = live.Mutation{Op: op, U: m.U, V: m.V, W: m.W}
 	}
 

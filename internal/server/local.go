@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"anyscan/internal/live"
+	"anyscan/internal/local"
+)
+
+// This file implements GET /v1/local, the seed-centered community query:
+// given graph, seed, μ, and ε, expand only the seed's community (plus its
+// border fringe) from the graph's query index or its current live epoch,
+// with byte-identical membership to what full /v1/query would assign that
+// component. The endpoint composes with the rest of the serving machinery:
+// deadlines propagate, the work is admission-metered at query weight,
+// ?min_epoch= gives read-your-writes on mutated graphs, and capacity
+// failures degrade to the last good index with the stale marker.
+
+// handleLocal answers GET /v1/local?graph=&seed=&mu=&eps=.
+func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("graph")
+	mu, err1 := strconv.Atoi(q.Get("mu"))
+	eps, err2 := strconv.ParseFloat(q.Get("eps"), 64)
+	seed64, err3 := strconv.ParseInt(q.Get("seed"), 10, 32)
+	if name == "" || err1 != nil || err2 != nil || err3 != nil {
+		writeError(w, http.StatusBadRequest,
+			errors.New("need graph=<name>&seed=<vertex>&mu=<int>&eps=<float>"))
+		return
+	}
+	ge, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	minEpoch, err := parseMinEpoch(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed := int32(seed64)
+	if err := vertexInRange(seed, ge.G.NumVertices()); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveLocal(w, r, ge, seed, mu, eps, minEpoch)
+}
+
+// vertexInRange validates a request-supplied vertex id against the graph's
+// vertex count. Every handler that accepts a vertex id must call it (or an
+// equivalent domain validation) before doing any work, so malformed input
+// is a structured 400, never a panic.
+func vertexInRange(v int32, n int) error {
+	if v < 0 || int(v) >= n {
+		return fmt.Errorf("vertex %d out of range [0, %d)", v, n)
+	}
+	return nil
+}
+
+// wantMembers reports whether the response should carry the full member
+// list (the default; ?members=0 suppresses it for summary-only callers).
+func wantMembers(r *http.Request) bool {
+	v := r.URL.Query().Get("members")
+	return v != "0" && v != "false"
+}
+
+// serveLocal answers one local query, degrading to the last good index —
+// explicitly marked stale — when the fresh build fails or is shed. Like
+// clusterings, read-your-writes requests never degrade.
+func (s *Server) serveLocal(w http.ResponseWriter, r *http.Request, ge *GraphEntry, seed int32, mu int, eps float64, minEpoch int64) {
+	resp, code, err := s.queryLocal(r.Context(), ge, seed, mu, eps, minEpoch, wantMembers(r))
+	if err != nil {
+		if minEpoch == 0 && s.degradeLocal(w, r, ge, seed, mu, eps, err) {
+			return
+		}
+		s.countDeadline(err)
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryLocal routes a local query to the graph's live epoch chain when one
+// exists (so mutations are visible) or to the immutable index otherwise,
+// mirroring queryClustering. The expansion itself is cheap relative to an
+// index build but still serializes O(community) state, so it is metered
+// through the admission semaphore at query weight.
+func (s *Server) queryLocal(ctx context.Context, ge *GraphEntry, seed int32, mu int, eps float64, minEpoch int64, withMembers bool) (LocalResponse, int, error) {
+	if lg, ok := s.liveGraphs.lookup(ge.Name, ge.G); ok {
+		return s.liveLocal(ctx, ge, lg, seed, mu, eps, minEpoch, withMembers)
+	}
+	if minEpoch > 0 {
+		return LocalResponse{}, http.StatusConflict,
+			fmt.Errorf("graph %q has no live epochs; min_epoch requires a mutated graph", ge.Name)
+	}
+	idx, hit, buildMS, err := s.idx.get(ctx, ge)
+	if err != nil {
+		return LocalResponse{}, http.StatusBadRequest, err
+	}
+	if s.admit != nil {
+		release, err := s.admit.acquireQuery(ctx)
+		if err != nil {
+			return LocalResponse{}, http.StatusServiceUnavailable, err
+		}
+		defer release()
+	}
+	res, queryUS, err := s.runLocal(idx, seed, mu, eps)
+	if err != nil {
+		return LocalResponse{}, http.StatusBadRequest, err
+	}
+	resp := localResponse(ge.Name, res, withMembers)
+	resp.CacheHit = hit
+	resp.BuildMS = buildMS
+	resp.QueryMS = float64(queryUS) / 1000
+	return resp, 0, nil
+}
+
+// liveLocal answers a local query from a live graph's epoch chain, waiting
+// for the read-your-writes bound before taking any admission slot (same
+// discipline as liveClustering).
+func (s *Server) liveLocal(ctx context.Context, ge *GraphEntry, lg *live.Graph, seed int32, mu int, eps float64, minEpoch int64, withMembers bool) (LocalResponse, int, error) {
+	ep, err := lg.WaitEpoch(ctx, minEpoch)
+	if err != nil {
+		return LocalResponse{}, http.StatusServiceUnavailable, err
+	}
+	if s.admit != nil {
+		release, err := s.admit.acquireQuery(ctx)
+		if err != nil {
+			return LocalResponse{}, http.StatusServiceUnavailable, err
+		}
+		defer release()
+	}
+	res, queryUS, err := s.runLocal(ep, seed, mu, eps)
+	if err != nil {
+		return LocalResponse{}, http.StatusBadRequest, err
+	}
+	resp := localResponse(ge.Name, res, withMembers)
+	resp.CacheHit = true
+	resp.Epoch = ep.Seq()
+	resp.QueryMS = float64(queryUS) / 1000
+	return resp, 0, nil
+}
+
+// degradeLocal serves a stale-marked local answer from the last good index
+// when the fresh one is unavailable for capacity reasons. The stale index
+// may describe an older generation of the graph, so the seed is re-checked
+// against that generation's vertex range.
+func (s *Server) degradeLocal(w http.ResponseWriter, r *http.Request, ge *GraphEntry, seed int32, mu int, eps float64, cause error) bool {
+	if !degradable(cause) {
+		return false
+	}
+	st, ok := s.idx.staleFor(ge.Name)
+	if !ok {
+		return false
+	}
+	if vertexInRange(seed, st.idx.NumVertices()) != nil {
+		return false
+	}
+	res, queryUS, err := s.runLocal(st.idx, seed, mu, eps)
+	if err != nil {
+		return false
+	}
+	s.met.StaleServed.Add(1)
+	s.log.Warn("serving stale local query", "graph", ge.Name, "cause", cause.Error())
+	w.Header().Set("X-Anyscan-Stale", "1")
+	resp := localResponse(ge.Name, res, wantMembers(r))
+	resp.CacheHit = true
+	resp.Stale = true
+	resp.QueryMS = float64(queryUS) / 1000
+	writeJSON(w, http.StatusOK, resp)
+	return true
+}
+
+// runLocal executes one expansion against any local.View and records the
+// anyscand_local_* metrics.
+func (s *Server) runLocal(v local.View, seed int32, mu int, eps float64) (*local.Result, int64, error) {
+	start := time.Now()
+	res, err := local.Query(v, seed, mu, eps)
+	if err != nil {
+		return nil, 0, err
+	}
+	queryUS := time.Since(start).Microseconds()
+	s.met.LocalQueries.Add(1)
+	s.met.LocalFrontier.Add(int64(res.Touched))
+	s.met.LocalQueryUS.Add(queryUS)
+	return res, queryUS, nil
+}
+
+// localResponse builds the wire form of a local result.
+func localResponse(graphName string, res *local.Result, withMembers bool) LocalResponse {
+	resp := LocalResponse{
+		Graph:   graphName,
+		Seed:    res.Seed,
+		Mu:      res.Mu,
+		Eps:     res.Eps,
+		Role:    res.Role.String(),
+		Size:    len(res.Members),
+		Touched: res.Touched,
+	}
+	if withMembers && len(res.Members) > 0 {
+		resp.Members = res.Members
+		resp.Roles = make([]int8, len(res.Roles))
+		for i, role := range res.Roles {
+			resp.Roles[i] = int8(role)
+		}
+	}
+	return resp
+}

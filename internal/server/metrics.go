@@ -34,6 +34,10 @@ type Metrics struct {
 	EpochsPublished atomic.Int64 // live-graph epochs published (effective batches)
 	EpochPublishUS  atomic.Int64 // wall time from entering Apply to epoch visibility (µs)
 
+	LocalQueries  atomic.Int64 // /v1/local seed-centered community queries answered
+	LocalFrontier atomic.Int64 // vertices touched by local-query frontier expansions
+	LocalQueryUS  atomic.Int64 // wall time spent answering local queries (µs)
+
 	AdmissionAdmitted atomic.Int64 // heavy work admitted through the semaphore
 	AdmissionQueued   atomic.Int64 // admissions that waited in the bounded queue
 	AdmissionShed     atomic.Int64 // heavy work refused (queue full / timed out)
@@ -107,6 +111,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 		float64(m.IndexBuildUS.Load())/1000)
 	fmt.Fprintf(w, "# HELP anyscand_query_ms_total Wall time spent answering interactive queries.\n# TYPE anyscand_query_ms_total counter\nanyscand_query_ms_total %g\n",
 		float64(m.QueryUS.Load())/1000)
+	counter("anyscand_local_queries_total", "Seed-centered local community queries served.", m.LocalQueries.Load())
+	counter("anyscand_local_frontier_vertices_total", "Vertices touched by local-query frontier expansions.", m.LocalFrontier.Load())
+	fmt.Fprintf(w, "# HELP anyscand_local_query_ms_total Wall time spent answering local community queries.\n# TYPE anyscand_local_query_ms_total counter\nanyscand_local_query_ms_total %g\n",
+		float64(m.LocalQueryUS.Load())/1000)
 
 	fmt.Fprintf(w, "# HELP anyscand_http_request_duration_ms HTTP request latency.\n")
 	fmt.Fprintf(w, "# TYPE anyscand_http_request_duration_ms histogram\n")

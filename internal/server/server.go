@@ -193,6 +193,9 @@ func (s *Server) routes() {
 	handle("POST /jobs/{id}/cancel", light(s.jobControl((*Manager).Cancel)))
 
 	s.mux.HandleFunc("GET /v1/query", heavy(s.handleQuery))
+	// Seed-centered community queries: may build the index on first touch,
+	// so the route gets the heavy deadline like /v1/query.
+	s.mux.HandleFunc("GET /v1/local", heavy(s.handleLocal))
 	// Deprecated pre-/v1 query surface, answered by the same index cache.
 	s.mux.HandleFunc("GET /cluster", heavy(s.handleCluster))
 	s.mux.HandleFunc("GET /sweep", heavy(s.handleSweep))
