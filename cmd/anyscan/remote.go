@@ -27,8 +27,8 @@ import (
 //	anyscan remote snapshot -addr URL -job j1 [-assignments]
 //	anyscan remote result  -addr URL -job j1 [-assignments]
 //	anyscan remote pause | resume | cancel -addr URL -job j1
-//	anyscan remote query   -addr URL -graph g -mu 5 [-eps 0.5 | -eps-list 0.3,0.5 | -limit 8] [-min-epoch 3]
-//	anyscan remote local   -addr URL -graph g -vertex 42 -mu 5 -eps 0.5 [-min-epoch 3] [-no-members]
+//	anyscan remote query   -addr URL -graph g -mu 5 [-eps 0.5 | -eps-list 0.3,0.5 | -limit 8] [-approx 0.05] [-min-epoch 3]
+//	anyscan remote local   -addr URL -graph g -vertex 42 -mu 5 -eps 0.5 [-approx 0.05] [-min-epoch 3] [-no-members]
 //	anyscan remote mutate  -addr URL -graph g -ops add:1:2:0.8,del:3:4,rw:1:2:1.5
 //	anyscan remote cluster -addr URL -graph g -mu 5 -eps 0.5   (deprecated: use query)
 //	anyscan remote sweep   -addr URL -graph g -mu 5 [-eps-list 0.3,0.5]   (deprecated: use query)
@@ -49,6 +49,7 @@ func remoteMain(args []string) {
 	epsList := fs.String("eps-list", "", "comma-separated ε values (query/sweep profile)")
 	limit := fs.Int("limit", 0, "max auto-picked ε thresholds for a query profile (0 = server default)")
 	minEpoch := fs.Int64("min-epoch", 0, "query/local: wait for this live epoch before answering (read-your-writes)")
+	approx := fs.Float64("approx", 0, "query/local: accuracy dial δ in [0,1) — σ estimated from sketches, near-threshold edges exact (0 = exact)")
 	vertex := fs.Int64("vertex", -1, "local: seed vertex id")
 	noMembers := fs.Bool("no-members", false, "local: omit the member list (summary only)")
 	ops := fs.String("ops", "", "mutate: comma-separated add:u:v:w, del:u:v, rw:u:v:w operations")
@@ -136,7 +137,7 @@ func remoteMain(args []string) {
 		case *epsList != "":
 			out, err = c.QueryProfile(ctx, needGraph(), *mu, parseEpsList(*epsList), *limit)
 		case epsSet:
-			out, err = c.QueryEpoch(ctx, needGraph(), *mu, *eps, *minEpoch, *withAssignments)
+			out, err = c.QueryApproxEpoch(ctx, needGraph(), *mu, *eps, *approx, *minEpoch, *withAssignments)
 		default:
 			out, err = c.QueryProfile(ctx, needGraph(), *mu, nil, *limit)
 		}
@@ -144,7 +145,7 @@ func remoteMain(args []string) {
 		if *vertex < 0 {
 			fatal(fmt.Errorf("remote local needs -vertex ID (the seed vertex)"))
 		}
-		out, err = c.LocalEpoch(ctx, needGraph(), int32(*vertex), *mu, *eps, *minEpoch, !*noMembers)
+		out, err = c.LocalApproxEpoch(ctx, needGraph(), int32(*vertex), *mu, *eps, *approx, *minEpoch, !*noMembers)
 	case "mutate":
 		if *ops == "" {
 			fatal(fmt.Errorf("remote mutate needs -ops LIST (e.g. add:1:2:0.8,del:3:4)"))

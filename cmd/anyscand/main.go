@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +57,7 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "per-client rate-limit burst (0 = 2x rate)")
 	indexBudgetMB := flag.Int64("index-memory-budget-mb", 0, "resident query-index memory budget in MiB; LRU-evicted above it (0 = unlimited)")
 	graphFormat := flag.String("graph-format", "", "storage backend for preloaded graphs: csr (flat, default) or compressed (varint; .csrz files stay mmap-backed)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = disabled)")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "graph to load at startup: PATH, name=NAME:PATH, or dataset:NAME (repeatable)")
 	flag.Parse()
@@ -99,6 +101,27 @@ func main() {
 			os.Exit(1)
 		}
 		log.Info("graph preloaded", "name", e.Name, "vertices", e.G.NumVertices(), "edges", e.G.NumEdges())
+	}
+
+	// The profiler gets its own listener and mux so the main API surface never
+	// exposes pprof endpoints: bind it to localhost (or a firewalled port) and
+	// it stays reachable to operators only, even when the service port is
+	// public. Off unless -pprof-addr is set.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Error("pprof listener", "err", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		log.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	// ReadHeaderTimeout bounds slow-loris header dribbling before a handler is

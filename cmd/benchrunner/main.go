@@ -36,6 +36,8 @@ func main() {
 	jsonPath := flag.String("json-out", "", "path for the -json report (default BENCH_<date>.json)")
 	jsonSets := flag.String("json-datasets", "", "comma-separated datasets for the -json report (default: the Table I stand-ins)")
 	format := flag.String("format", "csr", "graph storage backend for the -json index rows: csr | compressed")
+	approxDeltas := flag.String("approx-deltas", "0.01", "comma-separated accuracy dials δ for the -json approx rows (empty = skip)")
+	approxGate := flag.Float64("approx-gate", 0, "fail the run when any approx-query row's ARI against the exact answer is below this (0 = no gate)")
 	goBench := flag.String("gobench", "", "also render the -json report in `go test -bench` format to this path (benchstat-compatible)")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json reports: benchrunner -compare old.json new.json")
 	failOnMissing := flag.Bool("fail-on-missing", false, "-compare: exit non-zero when a baseline cell has no counterpart in the new report (coverage regressions; timing deltas stay informational)")
@@ -96,12 +98,26 @@ func main() {
 		}
 		cfg.Threads = append(cfg.Threads, t)
 	}
+	for _, part := range strings.Split(*approxDeltas, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.ParseFloat(part, 64)
+		if err != nil || d < 0 || d >= 1 {
+			fmt.Fprintf(os.Stderr, "benchrunner: bad -approx-deltas entry %q (want δ in [0,1))\n", part)
+			os.Exit(2)
+		}
+		if d > 0 {
+			cfg.ApproxDeltas = append(cfg.ApproxDeltas, d)
+		}
+	}
 
 	names := flag.Args()
 	if (*jsonOut || *goBench != "") && len(names) == 0 {
 		// -json/-gobench alone: emit the machine-readable report without
 		// re-running the text experiments.
-		writeJSONReport(cfg, *jsonSets, *jsonPath, *goBench, *jsonOut)
+		writeJSONReport(cfg, *jsonSets, *jsonPath, *goBench, *jsonOut, *approxGate)
 		return
 	}
 	if len(names) == 0 {
@@ -126,14 +142,14 @@ func main() {
 		}
 	}
 	if *jsonOut || *goBench != "" {
-		writeJSONReport(cfg, *jsonSets, *jsonPath, *goBench, *jsonOut)
+		writeJSONReport(cfg, *jsonSets, *jsonPath, *goBench, *jsonOut, *approxGate)
 	}
 }
 
 // writeJSONReport measures the -json dataset set and writes the
 // machine-readable report (and/or its go-bench rendering) alongside the
-// text output.
-func writeJSONReport(cfg bench.Config, datasetCSV, path, goBenchPath string, writeJSON bool) {
+// text output, applying the -approx-gate accuracy floor if one is set.
+func writeJSONReport(cfg bench.Config, datasetCSV, path, goBenchPath string, writeJSON bool, approxGate float64) {
 	names := datasets.RealNames()
 	if datasetCSV != "" {
 		names = names[:0]
@@ -145,6 +161,30 @@ func writeJSONReport(cfg bench.Config, datasetCSV, path, goBenchPath string, wri
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
+	}
+	if approxGate > 0 {
+		checked := 0
+		failed := 0
+		for _, r := range rep.Records {
+			if r.Algorithm != "approx-query" {
+				continue
+			}
+			checked++
+			if r.ARI < approxGate {
+				failed++
+				fmt.Fprintf(os.Stderr, "benchrunner: approx-gate: %s δ=%g (μ=%d, ε=%g): ARI %.4f < %.4f\n",
+					r.Dataset, r.Delta, r.Mu, r.Eps, r.ARI, approxGate)
+			}
+		}
+		if checked == 0 {
+			fmt.Fprintln(os.Stderr, "benchrunner: approx-gate set but the report has no approx-query rows (check -approx-deltas)")
+			os.Exit(1)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: approx-gate: %d of %d approx-query cells below ARI %.4f\n", failed, checked, approxGate)
+			os.Exit(1)
+		}
+		fmt.Fprintf(cfg.Out, "approx-gate: %d approx-query cells all at ARI >= %.4f\n", checked, approxGate)
 	}
 	if writeJSON {
 		if path == "" {

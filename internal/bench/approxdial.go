@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"anyscan/internal/eval"
+	"anyscan/internal/graph"
+	"anyscan/internal/index"
+)
+
+// approxDialDatasets are the datasets the approxdial experiment sweeps: two
+// Table I stand-ins plus the hub-degree stress graph where the sketch path
+// carries essentially the whole σ pass.
+var approxDialDatasets = []string{"GR01L", "GR05L", "HUB01"}
+
+// RunApproxDial prints the accuracy-vs-speedup table of the MinHash
+// accuracy dial: per (dataset, δ), the exact vs sketched σ-pass build time,
+// the fraction of edges served by sketches, the arcs the (μ, ε) query grid
+// had to resolve exactly inside the ε-band, and the worst-case ARI/NMI of
+// the grid's answers against the exact index.
+func RunApproxDial(cfg Config) error {
+	header(cfg.Out, "Approximate σ: MinHash dial accuracy vs build speedup")
+	deltas := cfg.ApproxDeltas
+	if len(deltas) == 0 {
+		deltas = []float64{index.DefaultApproxDelta}
+	}
+	threads := 1
+	for _, t := range cfg.Threads {
+		if t > threads {
+			threads = t
+		}
+	}
+	tw := newTab(cfg.Out)
+	fmt.Fprintf(tw, "dataset\tδ\texact-build(ms)\tapprox-build(ms)\tspeedup\tsketched\tband-resolved\tmin-ARI\tmin-NMI\n")
+	for _, name := range approxDialDatasets {
+		g, err := cfg.load(name)
+		if err != nil {
+			return err
+		}
+		exact := index.Build(g, threads)
+		for _, delta := range deltas {
+			ax, err := index.BuildApprox(g, threads, delta)
+			if err != nil {
+				return err
+			}
+			minARI, minNMI := 1.0, 1.0
+			for _, mu := range dedupInts([]int{2, cfg.Mu}) {
+				for _, eps := range dedupFloats([]float64{0.3, cfg.Eps, 0.7}) {
+					want, err := exact.Query(mu, eps)
+					if err != nil {
+						return err
+					}
+					got, err := ax.Query(mu, eps)
+					if err != nil {
+						return err
+					}
+					ari, nmi := eval.Agreement(want, got)
+					minARI, minNMI = min(minARI, ari), min(minNMI, nmi)
+				}
+			}
+			st := ax.Approx()
+			fmt.Fprintf(tw, "%s\t%g\t%s\t%s\t%.2fx\t%.1f%%\t%d\t%.4f\t%.4f\n",
+				name, delta, ms(exact.BuildTime()), ms(ax.BuildTime()),
+				float64(exact.BuildTime())/float64(ax.BuildTime()),
+				100*float64(st.Sketched)/float64(st.Sketched+st.BuildExact),
+				st.Resolved, minARI, minNMI)
+		}
+	}
+	return tw.Flush()
+}
+
+// measureApproxDial records the accuracy-vs-speedup tradeoff of the
+// approximate similarity mode: for each configured dial δ it rebuilds the
+// query index with MinHash sketches ("approx-build" rows — their wall time
+// against the exact "index-build" row is the speedup axis) and answers the
+// same (μ, ε) grid as measureIndex ("approx-query" rows), scoring each
+// clustering against the exact index's answer with ARI and NMI (the
+// accuracy axis). The CI accuracy gate reads the ARI column of these rows.
+func (cfg Config) measureApproxDial(base Record, g graph.Graph, exact *index.Index) ([]Record, error) {
+	var out []Record
+	for _, delta := range cfg.ApproxDeltas {
+		if delta <= 0 {
+			continue
+		}
+		ax, err := index.BuildApprox(g, exact.Threads(), delta)
+		if err != nil {
+			return nil, err
+		}
+		build := base
+		build.Algorithm = "approx-build"
+		build.Threads = exact.Threads()
+		build.Delta = delta
+		build.WallMS = float64(ax.BuildTime().Microseconds()) / 1000
+		build.SimEvals = ax.SimEvals()
+		build.Sketched = ax.Approx().Sketched
+		out = append(out, build)
+
+		for _, mu := range dedupInts([]int{2, cfg.Mu}) {
+			for _, eps := range dedupFloats([]float64{0.3, cfg.Eps, 0.7}) {
+				want, err := exact.Query(mu, eps)
+				if err != nil {
+					return nil, err
+				}
+				rec := base
+				rec.Algorithm = "approx-query"
+				rec.Threads = exact.Threads()
+				rec.Mu, rec.Eps, rec.Delta = mu, eps, delta
+				start := time.Now()
+				res, err := ax.Query(mu, eps)
+				if err != nil {
+					return nil, err
+				}
+				rec.WallMS = float64(time.Since(start).Microseconds()) / 1000
+				rec.Clusters = res.NumClusters
+				rec.ARI, rec.NMI = eval.Agreement(want, res)
+				out = append(out, rec)
+			}
+		}
+	}
+	return out, nil
+}

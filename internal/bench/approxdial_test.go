@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestApproxDialRows checks that configuring accuracy dials adds the
+// approx-build/approx-query rows to the report: one build per δ, the same
+// (μ, ε) grid as the exact index rows, a recorded dial on every row, and an
+// ARI/NMI score on every query row (the column the CI gate reads).
+func TestApproxDialRows(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Threads = []int{1}
+	cfg.ApproxDeltas = []float64{0.05, 0.2}
+	rep, err := CollectRecords(cfg, []string{"GR01L"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds, queries := 0, 0
+	for _, r := range rep.Records {
+		switch r.Algorithm {
+		case "approx-build":
+			builds++
+			if r.Delta <= 0 {
+				t.Errorf("approx-build without a dial: %+v", r)
+			}
+			if r.Sketched <= 0 {
+				t.Errorf("approx-build at δ=%g sketched no edges (dense graph, expected the sketch path)", r.Delta)
+			}
+		case "approx-query":
+			queries++
+			if r.Delta <= 0 || r.Mu < 1 || r.Eps <= 0 {
+				t.Errorf("approx-query missing parameters: %+v", r)
+			}
+			if r.ARI < -1 || r.ARI > 1 || r.NMI < 0 || r.NMI > 1 {
+				t.Errorf("approx-query agreement out of range: ARI=%g NMI=%g", r.ARI, r.NMI)
+			}
+			if r.ARI < 0.9 {
+				t.Errorf("approx-query δ=%g (μ=%d, ε=%g): ARI %.4f implausibly low", r.Delta, r.Mu, r.Eps, r.ARI)
+			}
+		}
+	}
+	if builds != 2 {
+		t.Fatalf("approx-build rows = %d, want one per dial (2)", builds)
+	}
+	if queries != 2*6 {
+		t.Fatalf("approx-query rows = %d, want the 2x3 grid per dial (12)", queries)
+	}
+}

@@ -50,6 +50,10 @@ type Config struct {
 	// "compressed" for the varint-compressed backend. Batch and anySCAN rows
 	// always run on the flat CSR.
 	Format string
+	// ApproxDeltas lists the accuracy dials δ measured by the approximate-σ
+	// rows of the machine-readable report (approx-build / approx-query);
+	// empty disables them.
+	ApproxDeltas []float64
 	// Out receives the experiment report.
 	Out io.Writer
 }
@@ -89,6 +93,7 @@ func Experiments() []Experiment {
 		{"fig14", "Fig 14: scalability on synthetic graphs", RunFig14},
 		{"ablation", "Ablation: contribution of each anySCAN design choice", RunAblation},
 		{"approx", "Approximation: sampling (LinkSCAN*-style) vs anytime early stopping", RunApprox},
+		{"approxdial", "Approximate σ: MinHash sketch dial, accuracy vs build speedup", RunApproxDial},
 		{"mapreduce", "MapReduce PSCAN vs shared-memory algorithms (the Section V argument)", RunMapReduce},
 	}
 }

@@ -26,8 +26,9 @@ func LoadReport(path string) (Report, error) {
 
 // recordKey identifies a measurement cell across two reports: same dataset,
 // algorithm, thread count and — for index-query rows — the same (μ, ε), —
-// for live-mutation rows — the same batch size, and — for local-query rows
-// — the same seed vertex.
+// for live-mutation rows — the same batch size, — for local-query rows —
+// the same seed vertex, and — for approx rows — the same accuracy dial δ
+// (zero on every other row, so older baselines keep matching).
 type recordKey struct {
 	Dataset   string
 	Algorithm string
@@ -36,10 +37,11 @@ type recordKey struct {
 	Eps       float64
 	Batch     int
 	Seed      int32
+	Delta     float64
 }
 
 func keyOf(r Record) recordKey {
-	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps, r.Batch, r.Seed}
+	return recordKey{r.Dataset, r.Algorithm, r.Threads, r.Mu, r.Eps, r.Batch, r.Seed, r.Delta}
 }
 
 func (k recordKey) String() string {
@@ -52,6 +54,9 @@ func (k recordKey) String() string {
 	}
 	if k.Algorithm == "local-query" {
 		s += fmt.Sprintf("/seed=%d", k.Seed)
+	}
+	if k.Delta != 0 {
+		s += fmt.Sprintf("/delta=%g", k.Delta)
 	}
 	return s
 }
@@ -157,6 +162,9 @@ func (rep Report) WriteGoBench(w io.Writer) error {
 		}
 		if r.Algorithm == "local-query" {
 			name += fmt.Sprintf("/seed-%d", r.Seed)
+		}
+		if r.Delta != 0 {
+			name += fmt.Sprintf("/delta-%g", r.Delta)
 		}
 		ns := r.WallMS * 1e6
 		if _, err := fmt.Fprintf(w, "%s \t%8d\t%12.0f ns/op\t%12d sim-evals\n",

@@ -46,6 +46,16 @@ type Record struct {
 	// size of the compressed backend and its fraction of the flat CSR size.
 	Bytes int64   `json:"bytes,omitempty"`
 	Ratio float64 `json:"ratio,omitempty"`
+	// Delta is set on "approx-build" and "approx-query" rows: the accuracy
+	// dial δ the approximate index was built at.
+	Delta float64 `json:"delta,omitempty"`
+	// ARI and NMI are set on "approx-query" rows: agreement of the
+	// approximate clustering with the exact index's answer at the same (μ, ε).
+	ARI float64 `json:"ari,omitempty"`
+	NMI float64 `json:"nmi,omitempty"`
+	// Sketched is set on "approx-build" rows: edges whose σ came from MinHash
+	// sketches rather than an exact evaluation (0 = whole build fell back).
+	Sketched int64 `json:"sketched,omitempty"`
 }
 
 // Report is the top-level payload of BENCH_<date>.json.
@@ -139,6 +149,11 @@ func (cfg Config) measureGraph(name string, g *graph.CSR) ([]Record, error) {
 		return nil, err
 	}
 	out = append(out, recs...)
+	approx, err := cfg.measureApproxDial(base, ig, x)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, approx...)
 	locals, err := cfg.measureLocal(base, x)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ package datasets
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -126,6 +127,25 @@ func init() {
 			}
 			m := int64(n) * 43 // d̄ ≈ 86
 			return gen.RMAT(scale, m, 0.45, 0.22, 0.22, gen.WeightConfig{}, 105), nil
+		})
+
+	// --- Approximate-σ stress dataset (not in the paper's tables, hence no
+	// GR prefix: it must stay out of RealNames). Planted partition with
+	// 640-vertex communities at pIn=0.85, so every vertex's degree (~543)
+	// clears the σ kernel's hub threshold and the MinHash sketch path carries
+	// essentially the whole σ pass. Scale multiplies the community COUNT, not
+	// the community size, so the hub property holds at any scale. ---
+	register("HUB01", "synthetic hub stress (planted partition, d̄≈548)",
+		"uniformly hub-degree planted communities", func(s float64) (*graph.CSR, error) {
+			k := int(math.Round(4 * s))
+			if k < 1 {
+				k = 1
+			}
+			pOut := 0.0
+			if k > 1 {
+				pOut = 0.0025 // a few cross-community edges per vertex
+			}
+			return gen.PlantedPartition(k*640, k, 0.85, pOut, gen.WeightConfig{}, 106), nil
 		})
 
 	// --- Table II stand-ins: degree sweep (cc held near the LFR default) ---

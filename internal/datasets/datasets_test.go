@@ -13,8 +13,8 @@ const testScale = 0.08 // tiny but structurally meaningful
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
-		t.Fatalf("registry has %d datasets, want 15 (5 GR + 10 LFR)", len(names))
+	if len(names) != 16 {
+		t.Fatalf("registry has %d datasets, want 16 (5 GR + 10 LFR + 1 HUB)", len(names))
 	}
 	if got := len(RealNames()); got != 5 {
 		t.Errorf("RealNames: %d, want 5", got)

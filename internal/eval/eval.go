@@ -98,6 +98,11 @@ func NMILabels(la []int, ka int, lb []int, kb int) float64 {
 func ARI(a, b *cluster.Result) float64 {
 	la, ka := labelsOf(a)
 	lb, kb := labelsOf(b)
+	return ARILabels(la, ka, lb, kb)
+}
+
+// ARILabels is ARI over raw label vectors with ka and kb clusters.
+func ARILabels(la []int, ka int, lb []int, kb int) float64 {
 	n := len(la)
 	if n == 0 {
 		return 1
@@ -131,6 +136,45 @@ func ARI(a, b *cluster.Result) float64 {
 		return 1
 	}
 	return (sumIJ - expected) / (maxIdx - expected)
+}
+
+// Agreement returns (ARI, NMI) between two clusterings in one call — the
+// pair of accuracy scores the approximate-similarity experiments record per
+// (dataset, δ) cell.
+func Agreement(a, b *cluster.Result) (ari, nmi float64) {
+	la, ka := labelsOf(a)
+	lb, kb := labelsOf(b)
+	return ARILabels(la, ka, lb, kb), NMILabels(la, ka, lb, kb)
+}
+
+// AgreementLabels returns (ARI, NMI) between two per-vertex label vectors in
+// the wire form assignment payloads use: dense cluster ids with
+// cluster.NoLabel (-1) marking noise. Noise folds into one special cluster,
+// matching Agreement over cluster.Results.
+func AgreementLabels(a, b []int32) (ari, nmi float64) {
+	la, ka := flatten(a)
+	lb, kb := flatten(b)
+	return ARILabels(la, ka, lb, kb), NMILabels(la, ka, lb, kb)
+}
+
+// flatten maps a wire-form label vector to dense non-negative labels, noise
+// becoming one extra cluster (mirroring labelsOf without a Result).
+func flatten(labels []int32) ([]int, int) {
+	k := 0
+	for _, l := range labels {
+		if int(l) >= k {
+			k = int(l) + 1
+		}
+	}
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		if l == cluster.NoLabel {
+			out[i] = k
+		} else {
+			out[i] = int(l)
+		}
+	}
+	return out, k + 1
 }
 
 // Purity returns the fraction of vertices whose cluster in a maps to the

@@ -182,3 +182,30 @@ func TestModularity(t *testing.T) {
 		t.Fatalf("empty Q = %v", q)
 	}
 }
+
+func TestAgreementMatchesResultScores(t *testing.T) {
+	a := mk([]int32{0, 0, 1, 1, cluster.NoLabel, 2}, 3)
+	b := mk([]int32{1, 1, 0, 0, 2, cluster.NoLabel}, 3)
+	ari, nmi := Agreement(a, b)
+	if want := ARI(a, b); math.Abs(ari-want) > 1e-12 {
+		t.Errorf("Agreement ARI = %v, ARI = %v", ari, want)
+	}
+	if want := NMI(a, b); math.Abs(nmi-want) > 1e-12 {
+		t.Errorf("Agreement NMI = %v, NMI = %v", nmi, want)
+	}
+	lari, lnmi := AgreementLabels(a.Labels, b.Labels)
+	if math.Abs(lari-ari) > 1e-12 || math.Abs(lnmi-nmi) > 1e-12 {
+		t.Errorf("AgreementLabels (%v, %v) diverges from Agreement (%v, %v)", lari, lnmi, ari, nmi)
+	}
+}
+
+func TestAgreementLabelsIdenticalAndDegenerate(t *testing.T) {
+	v := []int32{0, 1, 1, cluster.NoLabel, 2}
+	if ari, nmi := AgreementLabels(v, v); ari != 1 || math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("identical vectors: (ARI, NMI) = (%v, %v), want (1, 1)", ari, nmi)
+	}
+	allNoise := []int32{cluster.NoLabel, cluster.NoLabel, cluster.NoLabel}
+	if ari, nmi := AgreementLabels(allNoise, allNoise); ari != 1 || nmi != 1 {
+		t.Errorf("all-noise vectors: (ARI, NMI) = (%v, %v), want (1, 1)", ari, nmi)
+	}
+}

@@ -1,0 +1,23 @@
+package index
+
+import (
+	"context"
+
+	"anyscan/internal/graph"
+)
+
+// BuildApproxK exposes the k/seed-parameterized approximate build to the
+// external test package, so property tests can force wide bands (tiny k) or
+// tight ones without changing the public default.
+func BuildApproxK(g graph.Graph, threads int, delta float64, k int, seed uint64) (*Index, error) {
+	return buildApproxCtx(context.Background(), g, threads, delta, k, seed)
+}
+
+// ArcBand returns the error band of arc e in CSR arc order (0 for an exact
+// index or an exact-tier arc).
+func (x *Index) ArcBand(e int64) float64 {
+	if x.approx == nil || x.approx.band == nil {
+		return 0
+	}
+	return float64(x.approx.band[e])
+}

@@ -66,6 +66,11 @@ type Index struct {
 	buildTau time.Duration // wall time of Build (0 for loads)
 	threads  int           // worker count for large parallel queries
 
+	// approx is non-nil for indexes built with BuildApprox at δ>0: the σ
+	// slice then holds sketch estimates with per-arc error bands and queries
+	// take the band-aware path (see approx.go). nil means every σ is exact.
+	approx *approxState
+
 	mu     sync.Mutex
 	orders map[int]*coreOrder // μ → memoized core order
 }
@@ -149,6 +154,14 @@ func (x *Index) sortNeighborsCtx(ctx context.Context, threads int) error {
 	g := x.g
 	x.nbr = make([]int32, g.NumArcs())
 	x.nbrSig = make([]float64, g.NumArcs())
+	var band, nbrBand []float32
+	if x.approx != nil && x.approx.band != nil {
+		// Approximate indexes carry the per-arc error band through the same
+		// permutation, so the sorted order and its bands stay parallel.
+		band = x.approx.band
+		nbrBand = make([]float32, g.NumArcs())
+		x.approx.nbrBand = nbrBand
+	}
 	return par.ForCtx(ctx, g.NumVertices(), threads, 32, func(i int) {
 		v := int32(i)
 		lo, hi := g.NeighborRange(v)
@@ -170,6 +183,9 @@ func (x *Index) sortNeighborsCtx(ctx context.Context, threads int) error {
 		for j, o := range ord {
 			x.nbr[lo+int64(j)] = ids[o]
 			x.nbrSig[lo+int64(j)] = x.sigma[lo+int64(o)]
+			if nbrBand != nil {
+				nbrBand[lo+int64(j)] = band[lo+int64(o)]
+			}
 		}
 	})
 }
@@ -197,9 +213,18 @@ func (x *Index) BuildTime() time.Duration { return x.buildTau }
 // enforce a memory budget with LRU eviction.
 func (x *Index) Bytes() int64 {
 	b := int64(len(x.sigma))*8 + int64(len(x.nbr))*4 + int64(len(x.nbrSig))*8
+	if a := x.approx; a != nil {
+		b += int64(len(a.band))*4 + int64(len(a.nbrBand))*4 +
+			int64(len(a.maxBand))*8 + int64(len(a.resolved))*8
+	}
 	x.mu.Lock()
 	for _, co := range x.orders {
 		b += int64(len(co.verts))*4 + int64(len(co.thr))*8
+	}
+	if a := x.approx; a != nil {
+		for _, co := range a.ordersU {
+			b += int64(len(co.verts))*4 + int64(len(co.thr))*8
+		}
 	}
 	x.mu.Unlock()
 	return b
@@ -295,6 +320,9 @@ func (x *Index) Query(mu int, eps float64) (*cluster.Result, error) {
 	}
 	if !(eps > 0 && eps <= 1) {
 		return nil, fmt.Errorf("index: eps must be in (0,1], got %v", eps)
+	}
+	if x.approx != nil && !x.approx.exactFallback {
+		return x.queryApprox(mu, eps)
 	}
 	n := x.g.NumVertices()
 	co := x.coreOrderFor(mu)

@@ -10,16 +10,26 @@ import (
 	"anyscan/internal/graph"
 )
 
-// Index container format v1: the shared framed+CRC container of package
-// frame wrapping a gob-encoded indexPayload. Only the arc-order σ slice is
+// Index container format: the shared framed+CRC container of package frame
+// wrapping a gob-encoded indexPayload. Only the arc-order σ slice (plus, for
+// approximate indexes, the per-arc error bands and the sketch parameters) is
 // persisted — the sorted neighbor orders and per-μ core orders are cheap,
 // deterministic derivations and are rebuilt on load, which keeps the file a
 // third of the in-memory size and the format independent of query history.
-const indexVersion = 1
+//
+// Payload version 1 is an exact index; version 2 adds the approximate-mode
+// fields. Exact indexes — including any built with the δ=0 dial — keep
+// writing version 1, byte-identical to what earlier releases produced, and
+// both versions load through the same path.
+const (
+	indexVersion       = 1
+	indexVersionApprox = 2
+)
 
 // indexKind is the frame parameterization of the persisted-index artifact.
-// MaxPayload bounds the declared payload length so a corrupt or hostile
-// header cannot force an enormous allocation.
+// The container version stays 1 for both payload versions — the envelope
+// format is unchanged; MaxPayload bounds the declared payload length so a
+// corrupt or hostile header cannot force an enormous allocation.
 var indexKind = frame.Kind{
 	Magic:      0xA17C1DE5,
 	Version:    indexVersion,
@@ -29,23 +39,48 @@ var indexKind = frame.Kind{
 
 // indexPayload is the gob payload of a persisted index. The graph itself is
 // not serialized — the caller supplies it again at load time and a
-// fingerprint check rejects mismatches.
+// fingerprint check rejects mismatches. Delta, K, Seed, and Band are set
+// only when Version == indexVersionApprox; gob omits zero-valued fields, so
+// version-1 payloads encode exactly as they did before these fields existed.
 type indexPayload struct {
 	Version int
 	Graph   graph.Fingerprint
 	Sigma   []float64
+
+	// Approximate-mode fields (Version == indexVersionApprox): the accuracy
+	// dial, MinHash permutation count and seed the estimates were built
+	// with, and the per-arc confidence half-widths in CSR arc order.
+	Delta float64
+	K     int
+	Seed  uint64
+	Band  []float32
+}
+
+// payload assembles the persisted form of the index.
+func (x *Index) payload() indexPayload {
+	p := indexPayload{
+		Version: indexVersion,
+		Graph:   graph.FingerprintOf(x.g),
+		Sigma:   x.sigma,
+	}
+	if a := x.approx; a != nil && !a.exactFallback {
+		p.Version = indexVersionApprox
+		p.Delta, p.K, p.Seed, p.Band = a.delta, a.k, a.seed, a.band
+	}
+	return p
 }
 
 // Save serializes the index so it can be restored later — possibly in
 // another process — with Load, skipping the σ evaluation pass entirely. The
 // payload is wrapped in the framed container (magic, version, length,
 // CRC-32), so truncation and bit-level corruption are detected at load time.
+//
+// An approximate index saves its estimates and error bands (payload version
+// 2); a build that requested approximation but fell back to the exact pass
+// (non-unit weights) saves as a plain exact index — its σ values are exact,
+// and the dial setting is build provenance, not index state.
 func (x *Index) Save(w io.Writer) error {
-	p := indexPayload{
-		Version: indexVersion,
-		Graph:   graph.FingerprintOf(x.g),
-		Sigma:   x.sigma,
-	}
+	p := x.payload()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
 		return fmt.Errorf("anyscan: encoding index: %w", err)
@@ -57,11 +92,7 @@ func (x *Index) Save(w io.Writer) error {
 // atomic rename): at every instant either the previous file or the complete
 // new one exists under path.
 func (x *Index) SaveFile(path string) error {
-	p := indexPayload{
-		Version: indexVersion,
-		Graph:   graph.FingerprintOf(x.g),
-		Sigma:   x.sigma,
-	}
+	p := x.payload()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
 		return fmt.Errorf("anyscan: encoding index: %w", err)
@@ -98,7 +129,7 @@ func restore(g graph.Graph, payload []byte, threads int) (*Index, error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("anyscan: decoding index: %w", err)
 	}
-	if p.Version != indexVersion {
+	if p.Version != indexVersion && p.Version != indexVersionApprox {
 		return nil, fmt.Errorf("anyscan: index version %d not supported", p.Version)
 	}
 	if fp := graph.FingerprintOf(g); fp != p.Graph {
@@ -118,6 +149,26 @@ func restore(g graph.Graph, payload []byte, threads int) (*Index, error) {
 		threads: threads,
 		orders:  map[int]*coreOrder{},
 	}
+	if p.Version == indexVersionApprox {
+		if !(p.Delta > 0 && p.Delta < 1) {
+			return nil, fmt.Errorf("anyscan: index approx delta %v out of range (0,1)", p.Delta)
+		}
+		if p.K < 1 {
+			return nil, fmt.Errorf("anyscan: index approx k %d must be >= 1", p.K)
+		}
+		if int64(len(p.Band)) != g.NumArcs() {
+			return nil, fmt.Errorf("anyscan: index has %d arc bands, graph has %d arcs", len(p.Band), g.NumArcs())
+		}
+		for e, b := range p.Band {
+			if !(b >= 0 && b <= 1) { // also rejects NaN
+				return nil, fmt.Errorf("anyscan: index arc %d band %v out of range [0,1]", e, b)
+			}
+		}
+		x.approx = &approxState{delta: p.Delta, k: p.K, seed: p.Seed, band: p.Band}
+	}
 	x.sortNeighbors(threads)
+	if x.approx != nil {
+		x.finishApprox()
+	}
 	return x, nil
 }

@@ -169,7 +169,20 @@ func FromIndex(x *index.Index) *Graph {
 
 // FromIndexLogger is FromIndex with an explicit logger for the
 // decompress-fallback warning (nil disables logging).
+//
+// Approximate indexes (delta > 0) cannot seed a live graph: incremental
+// maintenance patches σ values in place and would silently mix exact patches
+// into sketch estimates whose error bands no longer describe them. Promotion
+// therefore rebuilds the index exactly (one σ pass) and logs that the
+// accuracy dial was dropped.
 func FromIndexLogger(x *index.Index, lg *slog.Logger) *Graph {
+	if a := x.Approx(); a.Delta > 0 && !a.ExactFallback {
+		if lg != nil {
+			lg.Warn("live: approximate index cannot back a mutable graph; rebuilding exact for promotion",
+				"delta", a.Delta, "vertices", x.Graph().NumVertices(), "edges", x.Graph().NumEdges())
+		}
+		x = index.Build(x.Graph(), x.Threads())
+	}
 	g, ok := x.Graph().(*graph.CSR)
 	if !ok {
 		g = graph.Materialize(x.Graph())

@@ -222,9 +222,14 @@ type SnapshotResponse struct {
 // exact clustering at (μ, ε) in the embedded ClusteringPayload; with an eps
 // list (or none) it carries one summary point per probed ε in Points.
 type QueryResponse struct {
-	Graph    string  `json:"graph"`
-	Mu       int     `json:"mu"`
-	Eps      float64 `json:"eps,omitempty"` // single-ε form only
+	Graph string  `json:"graph"`
+	Mu    int     `json:"mu"`
+	Eps   float64 `json:"eps,omitempty"` // single-ε form only
+	// Approx echoes the accuracy dial δ the answer was actually computed at:
+	// the requested ?approx= value when a sketch-based index served it,
+	// omitted (0) when the answer is exact — including approx requests that
+	// fell back to exact serving (weighted graphs, live epoch chains).
+	Approx   float64 `json:"approx,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
 	// Stale marks a degraded-mode answer: the fresh index build failed or
 	// was shed, so the response was served from the last good index (which
@@ -297,11 +302,14 @@ type MutateResponse struct {
 // only). Touched is the number of vertices the expansion visited — the
 // output-proportional cost of the answer.
 type LocalResponse struct {
-	Graph    string  `json:"graph"`
-	Seed     int32   `json:"seed"`
-	Mu       int     `json:"mu"`
-	Eps      float64 `json:"eps"`
-	Role     string  `json:"role"`
+	Graph string  `json:"graph"`
+	Seed  int32   `json:"seed"`
+	Mu    int     `json:"mu"`
+	Eps   float64 `json:"eps"`
+	Role  string  `json:"role"`
+	// Approx echoes the accuracy dial δ the answer was actually computed at
+	// (omitted when exact — see QueryResponse.Approx).
+	Approx   float64 `json:"approx,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
 	// Stale marks a degraded-mode answer served from the last good index;
 	// the response also carries an X-Anyscan-Stale: 1 header.

@@ -1,0 +1,187 @@
+package server_test
+
+import (
+	"reflect"
+	"testing"
+
+	"anyscan/internal/cluster"
+	"anyscan/internal/eval"
+	"anyscan/internal/gen"
+	"anyscan/internal/server"
+)
+
+// TestE2EApproxQueryDial exercises the accuracy dial end to end on an
+// unweighted graph: an ?approx= query is answered from a sketch-based index
+// (echoed in the response, cached under its own key, counted in metrics),
+// its clustering is near-identical to the exact answer, and an approx local
+// query returns exactly the membership the approx global clustering assigns.
+func TestE2EApproxQueryDial(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(2000, 9, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1, Logger: quietLogger()})
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "g", GraphSource: server.GraphSource{Path: path},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const mu, eps, delta = 3, 0.5, 0.05
+	exact, err := c.Query(tctx, "g", mu, eps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Approx != 0 {
+		t.Fatalf("exact query echoed approx=%g, want 0", exact.Approx)
+	}
+
+	ap, err := c.QueryApprox(tctx, "g", mu, eps, delta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Approx != delta {
+		t.Fatalf("approx query echoed approx=%g, want %g", ap.Approx, delta)
+	}
+	if ap.CacheHit {
+		t.Fatal("first approx query reported a cache hit; the approx index must not share the exact entry")
+	}
+	ari, nmi := eval.AgreementLabels(exact.Assignments.Labels, ap.Assignments.Labels)
+	if ari < 0.99 {
+		t.Fatalf("approx clustering at delta=%g diverges: ARI %.4f (NMI %.4f)", delta, ari, nmi)
+	}
+
+	// Same dial again: served from the cached approximate index.
+	ap2, err := c.QueryApprox(tctx, "g", mu, eps, delta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ap2.CacheHit {
+		t.Fatal("second approx query at the same delta missed the cache")
+	}
+	if ap2.Clusters != ap.Clusters {
+		t.Fatalf("cached approx answer changed: %d clusters vs %d", ap2.Clusters, ap.Clusters)
+	}
+
+	// An approx local query must return exactly the community the approx
+	// global clustering assigns the seed — the same contract the exact pair
+	// has, shifted to the approximate index.
+	var seed int32 = -1
+	for v, l := range ap.Assignments.Labels {
+		if l != cluster.NoLabel {
+			seed = int32(v)
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("approx clustering assigned no communities")
+	}
+	lr, err := c.LocalApprox(tctx, "g", seed, mu, eps, delta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Approx != delta {
+		t.Fatalf("approx local echoed approx=%g, want %g", lr.Approx, delta)
+	}
+	wantRole, wantMembers, _ := expectedLocal(ap.Assignments, seed)
+	if lr.Role != wantRole || !reflect.DeepEqual(lr.Members, wantMembers) {
+		t.Fatalf("approx local(seed=%d) diverges from approx global (role %q vs %q, %d vs %d members)",
+			seed, lr.Role, wantRole, len(lr.Members), len(wantMembers))
+	}
+
+	text, err := c.MetricsText(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := metricValue(t, text, "anyscand_approx_queries_total "); v < 3 {
+		t.Fatalf("anyscand_approx_queries_total = %g, want >= 3", v)
+	}
+	if v := metricValue(t, text, "anyscand_approx_index_builds_total "); v < 1 {
+		t.Fatalf("anyscand_approx_index_builds_total = %g, want >= 1", v)
+	}
+}
+
+// TestE2EApproxWeightedFallsBackExact loads a weighted graph: the build has
+// no sketchable σ form, so an approx request is answered exactly and the
+// response says so by omitting the dial.
+func TestE2EApproxWeightedFallsBackExact(t *testing.T) {
+	cfg := gen.DefaultLFR(900, 8, 29)
+	cfg.Weights = gen.WeightConfig{Mode: gen.WeightUniform, Min: 0.5, Max: 2}
+	g, _, err := gen.LFR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1, Logger: quietLogger()})
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "w", GraphSource: server.GraphSource{Path: path},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const mu, eps = 3, 0.4
+	exact, err := c.Query(tctx, "w", mu, eps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := c.QueryApprox(tctx, "w", mu, eps, 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Approx != 0 {
+		t.Fatalf("weighted-graph approx query echoed approx=%g, want 0 (exact fallback)", ap.Approx)
+	}
+	if !reflect.DeepEqual(ap.Assignments, exact.Assignments) {
+		t.Fatal("weighted-graph approx answer differs from exact")
+	}
+}
+
+// TestE2EApproxOnLiveGraphServedExactly mutates a graph and then asks for an
+// approx clustering: live epochs carry exact σ, so the answer must come from
+// the epoch chain (epoch echoed, approx omitted) and the fallback counter
+// must tick.
+func TestE2EApproxOnLiveGraphServedExactly(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(800, 8, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeGraphFile(t, g, t.TempDir())
+	_, c := newTestServer(t, server.ManagerConfig{Workers: 1, Logger: quietLogger()})
+	if _, err := c.LoadGraph(tctx, server.LoadGraphRequest{
+		Name: "g", GraphSource: server.GraphSource{Path: path},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mr, err := c.Mutate(tctx, "g", []server.MutationSpec{{Op: "add", U: 0, V: 500, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ap, err := c.QueryApproxEpoch(tctx, "g", 3, 0.4, 0.05, mr.Epoch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Approx != 0 {
+		t.Fatalf("live-graph approx query echoed approx=%g, want 0 (exact serving)", ap.Approx)
+	}
+	if ap.Epoch < mr.Epoch {
+		t.Fatalf("live-graph approx answer at epoch %d, want >= %d", ap.Epoch, mr.Epoch)
+	}
+	lr, err := c.LocalApprox(tctx, "g", 0, 3, 0.4, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Approx != 0 || lr.Epoch < mr.Epoch {
+		t.Fatalf("live-graph approx local: approx=%g epoch=%d, want exact serving at epoch >= %d",
+			lr.Approx, lr.Epoch, mr.Epoch)
+	}
+
+	text, err := c.MetricsText(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := metricValue(t, text, "anyscand_approx_live_exact_total "); v < 2 {
+		t.Fatalf("anyscand_approx_live_exact_total = %g, want >= 2", v)
+	}
+}

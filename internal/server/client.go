@@ -372,11 +372,30 @@ func (c *Client) Query(ctx context.Context, graphName string, mu int, eps float6
 // minEpoch, waiting (up to the request deadline) for a writer to publish it.
 // Pass the Epoch token a Mutate call returned to observe that write.
 func (c *Client) QueryEpoch(ctx context.Context, graphName string, mu int, eps float64, minEpoch int64, withAssignments bool) (QueryResponse, error) {
+	return c.QueryApproxEpoch(ctx, graphName, mu, eps, 0, minEpoch, withAssignments)
+}
+
+// QueryApprox is Query with an accuracy dial: approx in (0,1) lets the
+// server answer from a sketch-based approximate index built at that δ —
+// typically much cheaper to build on first touch — where only edges whose
+// similarity is provably within the sketch error band of ε can be
+// misclassified, each with probability at most δ. approx 0 is exact. The
+// response's Approx field reports the dial the answer was actually computed
+// at (0 when the server fell back to exact serving).
+func (c *Client) QueryApprox(ctx context.Context, graphName string, mu int, eps, approx float64, withAssignments bool) (QueryResponse, error) {
+	return c.QueryApproxEpoch(ctx, graphName, mu, eps, approx, 0, withAssignments)
+}
+
+// QueryApproxEpoch combines QueryApprox and QueryEpoch.
+func (c *Client) QueryApproxEpoch(ctx context.Context, graphName string, mu int, eps, approx float64, minEpoch int64, withAssignments bool) (QueryResponse, error) {
 	var resp QueryResponse
 	q := url.Values{}
 	q.Set("graph", graphName)
 	q.Set("mu", strconv.Itoa(mu))
 	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	if approx > 0 {
+		q.Set("approx", strconv.FormatFloat(approx, 'g', -1, 64))
+	}
 	if minEpoch > 0 {
 		q.Set("min_epoch", strconv.FormatInt(minEpoch, 10))
 	}
@@ -399,12 +418,27 @@ func (c *Client) Local(ctx context.Context, graphName string, seed int32, mu int
 // server answers from a live epoch at least that new, waiting (up to the
 // request deadline) for a writer to publish it.
 func (c *Client) LocalEpoch(ctx context.Context, graphName string, seed int32, mu int, eps float64, minEpoch int64, withMembers bool) (LocalResponse, error) {
+	return c.LocalApproxEpoch(ctx, graphName, seed, mu, eps, 0, minEpoch, withMembers)
+}
+
+// LocalApprox is Local with an accuracy dial (see QueryApprox): the
+// community expansion runs against the server's sketch-based index at δ =
+// approx, resolving near-threshold edges exactly.
+func (c *Client) LocalApprox(ctx context.Context, graphName string, seed int32, mu int, eps, approx float64, withMembers bool) (LocalResponse, error) {
+	return c.LocalApproxEpoch(ctx, graphName, seed, mu, eps, approx, 0, withMembers)
+}
+
+// LocalApproxEpoch combines LocalApprox and LocalEpoch.
+func (c *Client) LocalApproxEpoch(ctx context.Context, graphName string, seed int32, mu int, eps, approx float64, minEpoch int64, withMembers bool) (LocalResponse, error) {
 	var resp LocalResponse
 	q := url.Values{}
 	q.Set("graph", graphName)
 	q.Set("seed", strconv.FormatInt(int64(seed), 10))
 	q.Set("mu", strconv.Itoa(mu))
 	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	if approx > 0 {
+		q.Set("approx", strconv.FormatFloat(approx, 'g', -1, 64))
+	}
 	if minEpoch > 0 {
 		q.Set("min_epoch", strconv.FormatInt(minEpoch, 10))
 	}

@@ -12,10 +12,19 @@ import (
 	"anyscan/internal/sweep"
 )
 
-// indexEntry is one per-graph cached query index plus the μ-fixed sweep
-// explorers lazily derived from it (for profile queries over many ε).
+// idxKey identifies one cached query index: the graph name plus the
+// approximation delta it was built with. The exact index (delta 0) and each
+// requested accuracy dial are distinct cache residents — they answer with
+// different guarantees, so they can never share storage.
+type idxKey struct {
+	name  string
+	delta float64
+}
+
+// indexEntry is one per-(graph, delta) cached query index plus the μ-fixed
+// sweep explorers lazily derived from it (for profile queries over many ε).
 type indexEntry struct {
-	name    string
+	key     idxKey
 	g       graph.Graph   // the graph generation the index answers for
 	ready   chan struct{} // closed when idx/err are set
 	idx     *index.Index
@@ -43,7 +52,7 @@ type explorerEntry struct {
 	err   error
 }
 
-// staleIndex is the last index successfully built for a graph name, retained
+// staleIndex is the last index successfully built for a cache key, retained
 // after the fresh entry is replaced or rebuilt so the server can degrade to
 // stale-while-revalidate serving: when a rebuild fails or is shed, queries
 // are answered from here — explicitly marked stale — instead of erroring.
@@ -53,13 +62,13 @@ type staleIndex struct {
 	built time.Time
 }
 
-// indexCache caches one query index per graph with single-flight
-// construction: concurrent first queries for the same graph block on one
-// build instead of each paying the Θ(|E|) similarity pass. Because the index
-// answers any (μ, ε), every query against a graph — at any parameters —
-// shares the single per-graph instance; the index is safe for concurrent
-// readers (see index.Index), so cached instances are handed to every request
-// without locking.
+// indexCache caches one query index per (graph, delta) with single-flight
+// construction: concurrent first queries for the same key block on one build
+// instead of each paying the Θ(|E|) similarity pass. Because the index
+// answers any (μ, ε), every query against a graph at a given accuracy dial —
+// at any parameters — shares the single instance; the index is safe for
+// concurrent readers (see index.Index), so cached instances are handed to
+// every request without locking.
 //
 // Overload safety on top of the PR 3 design:
 //
@@ -69,12 +78,12 @@ type staleIndex struct {
 //     a storm of first queries for distinct graphs sheds instead of piling
 //     up σ passes;
 //   - a byte budget bounds resident indexes with LRU eviction;
-//   - the last good index per graph survives in the stale store for
+//   - the last good index per key survives in the stale store for
 //     degraded-mode serving (droppable under memory pressure).
 type indexCache struct {
 	mu      sync.Mutex
-	entries map[string]*indexEntry // graph name → fresh entry
-	stale   map[string]*staleIndex // graph name → last good index
+	entries map[idxKey]*indexEntry // (graph, delta) → fresh entry
+	stale   map[idxKey]*staleIndex // (graph, delta) → last good index
 	met     *Metrics
 	threads int        // workers for index construction (0 = GOMAXPROCS)
 	admit   *admission // nil → builds are never shed
@@ -83,8 +92,8 @@ type indexCache struct {
 
 func newIndexCache(met *Metrics, threads int, admit *admission, budget int64) *indexCache {
 	return &indexCache{
-		entries: make(map[string]*indexEntry),
-		stale:   make(map[string]*staleIndex),
+		entries: make(map[idxKey]*indexEntry),
+		stale:   make(map[idxKey]*staleIndex),
 		met:     met,
 		threads: threads,
 		admit:   admit,
@@ -92,14 +101,15 @@ func newIndexCache(met *Metrics, threads int, admit *admission, budget int64) *i
 	}
 }
 
-// get returns the cached index for the graph, building it on first use. hit
-// reports whether the index was already resident; buildMS is the
-// construction time paid by the request that built it (0 on hits). get
-// honors ctx while waiting: an abandoned wait returns ctx.Err() (and may
-// cancel the build — see indexEntry.waiters), and build admission failures
-// surface as *OverloadError so the handler can degrade to stale serving.
-func (c *indexCache) get(ctx context.Context, ge *GraphEntry) (idx *index.Index, hit bool, buildMS float64, err error) {
-	e, built := c.entry(ge)
+// get returns the cached index for the graph at the given accuracy dial
+// (delta 0 = exact), building it on first use. hit reports whether the index
+// was already resident; buildMS is the construction time paid by the request
+// that built it (0 on hits). get honors ctx while waiting: an abandoned wait
+// returns ctx.Err() (and may cancel the build — see indexEntry.waiters), and
+// build admission failures surface as *OverloadError so the handler can
+// degrade to stale serving.
+func (c *indexCache) get(ctx context.Context, ge *GraphEntry, delta float64) (idx *index.Index, hit bool, buildMS float64, err error) {
+	e, built := c.entry(ge, delta)
 	e.touch()
 	if err := c.wait(ctx, e); err != nil {
 		return nil, false, 0, err
@@ -134,8 +144,8 @@ func (c *indexCache) wait(ctx context.Context, e *indexEntry) error {
 				// instead of inheriting this one's cancellation error.
 				e.cancelBuild()
 				c.mu.Lock()
-				if c.entries[e.name] == e {
-					delete(c.entries, e.name)
+				if c.entries[e.key] == e {
+					delete(c.entries, e.key)
 				}
 				c.mu.Unlock()
 			}
@@ -144,12 +154,13 @@ func (c *indexCache) wait(ctx context.Context, e *indexEntry) error {
 	}
 }
 
-// entry returns the cache entry for the graph, creating it (and launching
-// its build) on first use; built reports whether this call launched the
-// build.
-func (c *indexCache) entry(ge *GraphEntry) (e *indexEntry, built bool) {
+// entry returns the cache entry for the (graph, delta) key, creating it (and
+// launching its build) on first use; built reports whether this call
+// launched the build.
+func (c *indexCache) entry(ge *GraphEntry, delta float64) (e *indexEntry, built bool) {
+	key := idxKey{name: ge.Name, delta: delta}
 	c.mu.Lock()
-	e, ok := c.entries[ge.Name]
+	e, ok := c.entries[key]
 	if ok && e.g != ge.G {
 		// The name was evicted and reloaded with different content; the
 		// cached index answers for a graph that no longer exists.
@@ -161,14 +172,14 @@ func (c *indexCache) entry(ge *GraphEntry) (e *indexEntry, built bool) {
 	}
 	buildCtx, cancel := context.WithCancel(context.Background())
 	e = &indexEntry{
-		name:        ge.Name,
+		key:         key,
 		g:           ge.G,
 		ready:       make(chan struct{}),
 		cancelBuild: cancel,
 		explorers:   make(map[int]*explorerEntry),
 	}
 	e.touch()
-	c.entries[ge.Name] = e
+	c.entries[key] = e
 	c.mu.Unlock()
 
 	c.met.IndexMisses.Add(1)
@@ -186,21 +197,24 @@ func (c *indexCache) build(ctx context.Context, e *indexEntry) {
 		e.buildMS = float64(time.Since(start).Microseconds()) / 1000
 		c.met.IndexSims.Add(idx.SimEvals()) // one σ per undirected edge
 		c.met.IndexBuildUS.Add(time.Since(start).Microseconds())
+		if e.key.delta > 0 {
+			c.met.ApproxIndexBuilds.Add(1)
+		}
 	} else {
 		e.err = err
 	}
 
 	c.mu.Lock()
-	current := c.entries[e.name] == e
+	current := c.entries[e.key] == e
 	if err != nil {
 		// Failed or abandoned builds are not cached: the next query retries.
 		if current {
-			delete(c.entries, e.name)
+			delete(c.entries, e.key)
 		}
 	} else if current {
 		// Publish as the last good index for degraded-mode serving, then
 		// enforce the byte budget (never evicting the entry just built).
-		c.stale[e.name] = &staleIndex{idx: idx, g: e.g, built: time.Now()}
+		c.stale[e.key] = &staleIndex{idx: idx, g: e.g, built: time.Now()}
 		c.enforceBudgetLocked(e)
 	}
 	// When the entry was evicted mid-build the result is handed only to the
@@ -210,7 +224,8 @@ func (c *indexCache) build(ctx context.Context, e *indexEntry) {
 }
 
 // runBuild passes the build through admission control (when configured), the
-// chaos fault point, and the cancellable σ pass.
+// chaos fault point, and the cancellable σ pass — sketch-based when the
+// entry's key carries an accuracy dial.
 func (c *indexCache) runBuild(ctx context.Context, e *indexEntry) (*index.Index, error) {
 	if c.admit != nil {
 		release, err := c.admit.acquireBuild(ctx)
@@ -222,23 +237,28 @@ func (c *indexCache) runBuild(ctx context.Context, e *indexEntry) (*index.Index,
 	if err := faultinject.Hit("index.build"); err != nil {
 		return nil, err
 	}
+	if e.key.delta > 0 {
+		return index.BuildApproxCtx(ctx, e.g, c.threads, e.key.delta)
+	}
 	return index.BuildCtx(ctx, e.g, c.threads)
 }
 
-// staleFor returns the last good index for the graph name, if any.
-func (c *indexCache) staleFor(name string) (*staleIndex, bool) {
+// staleFor returns the last good index for the (graph, delta) key, if any.
+func (c *indexCache) staleFor(name string, delta float64) (*staleIndex, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s, ok := c.stale[name]
+	s, ok := c.stale[idxKey{name: name, delta: delta}]
 	return s, ok
 }
 
-// explorer returns a μ-fixed sweep explorer derived from the graph's index,
-// building the index on first use and memoizing one explorer per μ. The
-// derivation performs no σ work (sweep.FromIndex), so hit/buildMS report the
-// index cache outcome — the quantity that matters for similarity cost.
+// explorer returns a μ-fixed sweep explorer derived from the graph's exact
+// index, building the index on first use and memoizing one explorer per μ.
+// Profiles are always exact — the approx surface rejects the profile form —
+// so the derivation anchors at delta 0. It performs no σ work
+// (sweep.FromIndex), so hit/buildMS report the index cache outcome — the
+// quantity that matters for similarity cost.
 func (c *indexCache) explorer(ctx context.Context, ge *GraphEntry, mu int) (ex *sweep.Explorer, hit bool, buildMS float64, err error) {
-	e, built := c.entry(ge)
+	e, built := c.entry(ge, 0)
 	e.touch()
 	if err := c.wait(ctx, e); err != nil {
 		return nil, false, 0, err
@@ -280,21 +300,25 @@ func (c *indexCache) explorer(ctx context.Context, ge *GraphEntry, mu int) (ex *
 	return ee.ex, hit, buildMS, nil
 }
 
-// evictGraph drops the named graph's cached index and derived explorers
-// (after a registry eviction), aborting any build still in flight — its
-// waiters see a cancellation, retryable once the graph is reloaded. The
-// stale snapshot is retained: an evict-and-reload cycle is the common way to
-// refresh a graph, and the snapshot is what lets queries degrade to
-// stale-marked answers while the replacement index builds (or fails to).
-// Memory-budget enforcement reclaims it when space is needed.
+// evictGraph drops the named graph's cached indexes (at every accuracy
+// dial) and derived explorers (after a registry eviction), aborting any
+// build still in flight — its waiters see a cancellation, retryable once the
+// graph is reloaded. The stale snapshots are retained: an evict-and-reload
+// cycle is the common way to refresh a graph, and the snapshot is what lets
+// queries degrade to stale-marked answers while the replacement index builds
+// (or fails to). Memory-budget enforcement reclaims them when space is
+// needed.
 func (c *indexCache) evictGraph(name string) {
 	c.mu.Lock()
-	e, ok := c.entries[name]
-	if ok {
-		delete(c.entries, name)
+	var evicted []*indexEntry
+	for key, e := range c.entries {
+		if key.name == name {
+			delete(c.entries, key)
+			evicted = append(evicted, e)
+		}
 	}
 	c.mu.Unlock()
-	if ok {
+	for _, e := range evicted {
 		select {
 		case <-e.ready:
 		default:
@@ -316,18 +340,18 @@ func (c *indexCache) enforceBudgetLocked(keep *indexEntry) {
 	}
 	for c.usedBytesLocked() > c.budget {
 		// Oldest orphaned stale snapshot first.
-		var oldestName string
+		var oldestKey idxKey
 		var oldest *staleIndex
-		for name, s := range c.stale {
-			if e, ok := c.entries[name]; ok && e.idx == s.idx {
+		for key, s := range c.stale {
+			if e, ok := c.entries[key]; ok && e.idx == s.idx {
 				continue // twin of a live entry: freeing it frees nothing
 			}
 			if oldest == nil || s.built.Before(oldest.built) {
-				oldestName, oldest = name, s
+				oldestKey, oldest = key, s
 			}
 		}
 		if oldest != nil {
-			delete(c.stale, oldestName)
+			delete(c.stale, oldestKey)
 			c.met.IndexEvicted.Add(1)
 			continue
 		}
@@ -344,9 +368,9 @@ func (c *indexCache) enforceBudgetLocked(keep *indexEntry) {
 		if victim == nil {
 			return // nothing evictable; the budget is best-effort
 		}
-		delete(c.entries, victim.name)
-		if s, ok := c.stale[victim.name]; ok && s.idx == victim.idx {
-			delete(c.stale, victim.name)
+		delete(c.entries, victim.key)
+		if s, ok := c.stale[victim.key]; ok && s.idx == victim.idx {
+			delete(c.stale, victim.key)
 		}
 		c.met.IndexEvicted.Add(1)
 	}

@@ -45,7 +45,7 @@ func TestIndexCacheGenerationInvariant(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				idx, _, _, err := c.get(context.Background(), ge)
+				idx, _, _, err := c.get(context.Background(), ge, 0)
 				if err != nil {
 					// Eviction may cancel a build under a waiter; that must
 					// surface as a context error, and a retry must recover.
@@ -78,7 +78,7 @@ func TestIndexCacheGenerationInvariant(t *testing.T) {
 
 	// After the dust settles a fresh get for either generation works.
 	for _, ge := range []*GraphEntry{geA, geB} {
-		idx, _, _, err := c.get(context.Background(), ge)
+		idx, _, _, err := c.get(context.Background(), ge, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func TestIndexCacheEvictKeepsStale(t *testing.T) {
 	g2 := lfr(t, 1000, 4)
 	c := newIndexCache(&Metrics{}, 1, nil, 0)
 
-	idx1, hit, _, err := c.get(context.Background(), &GraphEntry{Name: "g", G: g1})
+	idx1, hit, _, err := c.get(context.Background(), &GraphEntry{Name: "g", G: g1}, 0)
 	if err != nil || hit {
 		t.Fatalf("first get: idx=%v hit=%v err=%v", idx1, hit, err)
 	}
@@ -105,21 +105,21 @@ func TestIndexCacheEvictKeepsStale(t *testing.T) {
 	if c.size() != 0 {
 		t.Fatal("evictGraph left the fresh entry")
 	}
-	st, ok := c.staleFor("g")
+	st, ok := c.staleFor("g", 0)
 	if !ok || st.idx != idx1 {
 		t.Fatal("evictGraph dropped the stale snapshot")
 	}
 
 	// Reload with different content: a fresh build, and the stale store rolls
 	// forward to the new generation once it succeeds.
-	idx2, hit, _, err := c.get(context.Background(), &GraphEntry{Name: "g", G: g2})
+	idx2, hit, _, err := c.get(context.Background(), &GraphEntry{Name: "g", G: g2}, 0)
 	if err != nil || hit {
 		t.Fatalf("post-reload get: hit=%v err=%v", hit, err)
 	}
 	if idx2 == idx1 || idx2.Graph() != g2 {
 		t.Fatal("reload with new content did not rebuild")
 	}
-	if st, _ := c.staleFor("g"); st == nil || st.idx != idx2 {
+	if st, _ := c.staleFor("g", 0); st == nil || st.idx != idx2 {
 		t.Fatal("stale store did not roll forward to the new build")
 	}
 }
@@ -135,7 +135,7 @@ func TestIndexCacheAbandonedWaiter(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
 	defer cancel()
 	start := time.Now()
-	_, _, _, err := c.get(ctx, ge)
+	_, _, _, err := c.get(ctx, ge, 0)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired waiter got %v", err)
 	}
@@ -143,7 +143,7 @@ func TestIndexCacheAbandonedWaiter(t *testing.T) {
 		t.Fatalf("expired waiter blocked %v", waited)
 	}
 
-	idx, _, _, err := c.get(context.Background(), ge)
+	idx, _, _, err := c.get(context.Background(), ge, 0)
 	if err != nil {
 		t.Fatalf("get after an abandoned build: %v", err)
 	}
@@ -164,7 +164,7 @@ func TestIndexCacheMemoryBudget(t *testing.T) {
 	c := newIndexCache(met, 1, nil, 2*perIndex+perIndex/2)
 	names := []string{"a", "b", "c"}
 	for i, g := range graphs {
-		if _, _, _, err := c.get(context.Background(), &GraphEntry{Name: names[i], G: g}); err != nil {
+		if _, _, _, err := c.get(context.Background(), &GraphEntry{Name: names[i], G: g}, 0); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(2 * time.Millisecond) // separate lastUsed stamps
@@ -176,9 +176,9 @@ func TestIndexCacheMemoryBudget(t *testing.T) {
 		t.Fatal("three indexes fit a two-index budget without any eviction")
 	}
 	c.mu.Lock()
-	_, aLive := c.entries["a"]
-	_, aStale := c.stale["a"]
-	_, cLive := c.entries["c"]
+	_, aLive := c.entries[idxKey{name: "a"}]
+	_, aStale := c.stale[idxKey{name: "a"}]
+	_, cLive := c.entries[idxKey{name: "c"}]
 	c.mu.Unlock()
 	if aLive || aStale {
 		t.Fatal("LRU eviction spared the oldest entry (or left its stale twin)")
@@ -190,12 +190,12 @@ func TestIndexCacheMemoryBudget(t *testing.T) {
 	// A budget below a single index still never evicts the fresh build.
 	tiny := newIndexCache(&Metrics{}, 1, nil, 1)
 	for i, g := range graphs[:2] {
-		if _, _, _, err := tiny.get(context.Background(), &GraphEntry{Name: names[i], G: g}); err != nil {
+		if _, _, _, err := tiny.get(context.Background(), &GraphEntry{Name: names[i], G: g}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	tiny.mu.Lock()
-	_, bLive := tiny.entries["b"]
+	_, bLive := tiny.entries[idxKey{name: "b"}]
 	n := len(tiny.entries)
 	tiny.mu.Unlock()
 	if !bLive || n != 1 {

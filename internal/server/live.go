@@ -70,7 +70,9 @@ func (c *liveCache) get(ctx context.Context, ge *GraphEntry) (*live.Graph, error
 	c.entries[ge.Name] = e
 	c.mu.Unlock()
 
-	idx, _, _, err := c.idx.get(ctx, ge)
+	// A live graph always grows from the exact index (delta 0): epoch 0 must
+	// carry true σ values for incremental maintenance to patch.
+	idx, _, _, err := c.idx.get(ctx, ge, 0)
 	if err != nil {
 		e.err = err
 		c.mu.Lock()

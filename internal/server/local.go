@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"anyscan/internal/live"
@@ -21,16 +20,33 @@ import (
 // ?min_epoch= gives read-your-writes on mutated graphs, and capacity
 // failures degrade to the last good index with the stale marker.
 
-// handleLocal answers GET /v1/local?graph=&seed=&mu=&eps=.
+// handleLocal answers GET /v1/local?graph=&seed=&mu=&eps=[&approx=].
 func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("graph")
-	mu, err1 := strconv.Atoi(q.Get("mu"))
-	eps, err2 := strconv.ParseFloat(q.Get("eps"), 64)
-	seed64, err3 := strconv.ParseInt(q.Get("seed"), 10, 32)
-	if name == "" || err1 != nil || err2 != nil || err3 != nil {
+	if name == "" {
 		writeError(w, http.StatusBadRequest,
-			errors.New("need graph=<name>&seed=<vertex>&mu=<int>&eps=<float>"))
+			errors.New("need graph=<name>&seed=<vertex>&mu=<int>&eps=<float>[&approx=<delta>]"))
+		return
+	}
+	mu, err := parseMuParam(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eps, err := parseEpsParam(q.Get("eps"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := parseSeedParam(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	approx, err := parseApproxParam(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	ge, err := s.reg.Get(name)
@@ -43,12 +59,11 @@ func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	seed := int32(seed64)
 	if err := vertexInRange(seed, ge.G.NumVertices()); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveLocal(w, r, ge, seed, mu, eps, minEpoch)
+	s.serveLocal(w, r, ge, seed, mu, eps, approx, minEpoch)
 }
 
 // vertexInRange validates a request-supplied vertex id against the graph's
@@ -72,10 +87,10 @@ func wantMembers(r *http.Request) bool {
 // serveLocal answers one local query, degrading to the last good index —
 // explicitly marked stale — when the fresh build fails or is shed. Like
 // clusterings, read-your-writes requests never degrade.
-func (s *Server) serveLocal(w http.ResponseWriter, r *http.Request, ge *GraphEntry, seed int32, mu int, eps float64, minEpoch int64) {
-	resp, code, err := s.queryLocal(r.Context(), ge, seed, mu, eps, minEpoch, wantMembers(r))
+func (s *Server) serveLocal(w http.ResponseWriter, r *http.Request, ge *GraphEntry, seed int32, mu int, eps, approx float64, minEpoch int64) {
+	resp, code, err := s.queryLocal(r.Context(), ge, seed, mu, eps, approx, minEpoch, wantMembers(r))
 	if err != nil {
-		if minEpoch == 0 && s.degradeLocal(w, r, ge, seed, mu, eps, err) {
+		if minEpoch == 0 && s.degradeLocal(w, r, ge, seed, mu, eps, approx, err) {
 			return
 		}
 		s.countDeadline(err)
@@ -87,18 +102,25 @@ func (s *Server) serveLocal(w http.ResponseWriter, r *http.Request, ge *GraphEnt
 
 // queryLocal routes a local query to the graph's live epoch chain when one
 // exists (so mutations are visible) or to the immutable index otherwise,
-// mirroring queryClustering. The expansion itself is cheap relative to an
-// index build but still serializes O(community) state, so it is metered
+// mirroring queryClustering — including the accuracy dial: an approximate
+// index answers through its band-aware LocalView, and approx requests on
+// live graphs are served exactly. The expansion itself is cheap relative to
+// an index build but still serializes O(community) state, so it is metered
 // through the admission semaphore at query weight.
-func (s *Server) queryLocal(ctx context.Context, ge *GraphEntry, seed int32, mu int, eps float64, minEpoch int64, withMembers bool) (LocalResponse, int, error) {
+func (s *Server) queryLocal(ctx context.Context, ge *GraphEntry, seed int32, mu int, eps, approx float64, minEpoch int64, withMembers bool) (LocalResponse, int, error) {
 	if lg, ok := s.liveGraphs.lookup(ge.Name, ge.G); ok {
+		if approx > 0 {
+			s.met.ApproxLiveExact.Add(1)
+			s.log.Warn("approx local query on live graph served exactly",
+				"graph", ge.Name, "approx", approx)
+		}
 		return s.liveLocal(ctx, ge, lg, seed, mu, eps, minEpoch, withMembers)
 	}
 	if minEpoch > 0 {
 		return LocalResponse{}, http.StatusConflict,
 			fmt.Errorf("graph %q has no live epochs; min_epoch requires a mutated graph", ge.Name)
 	}
-	idx, hit, buildMS, err := s.idx.get(ctx, ge)
+	idx, hit, buildMS, err := s.idx.get(ctx, ge, approx)
 	if err != nil {
 		return LocalResponse{}, http.StatusBadRequest, err
 	}
@@ -109,11 +131,17 @@ func (s *Server) queryLocal(ctx context.Context, ge *GraphEntry, seed int32, mu 
 		}
 		defer release()
 	}
-	res, queryUS, err := s.runLocal(idx, seed, mu, eps)
+	resolvedBefore := idx.Approx().Resolved
+	res, queryUS, err := s.runLocal(idx.LocalView(eps), seed, mu, eps)
 	if err != nil {
 		return LocalResponse{}, http.StatusBadRequest, err
 	}
 	resp := localResponse(ge.Name, res, withMembers)
+	resp.Approx = effectiveApprox(idx)
+	if resp.Approx > 0 {
+		s.met.ApproxQueries.Add(1)
+		s.met.ApproxResolvedArcs.Add(idx.Approx().Resolved - resolvedBefore)
+	}
 	resp.CacheHit = hit
 	resp.BuildMS = buildMS
 	resp.QueryMS = float64(queryUS) / 1000
@@ -150,18 +178,18 @@ func (s *Server) liveLocal(ctx context.Context, ge *GraphEntry, lg *live.Graph, 
 // when the fresh one is unavailable for capacity reasons. The stale index
 // may describe an older generation of the graph, so the seed is re-checked
 // against that generation's vertex range.
-func (s *Server) degradeLocal(w http.ResponseWriter, r *http.Request, ge *GraphEntry, seed int32, mu int, eps float64, cause error) bool {
+func (s *Server) degradeLocal(w http.ResponseWriter, r *http.Request, ge *GraphEntry, seed int32, mu int, eps, approx float64, cause error) bool {
 	if !degradable(cause) {
 		return false
 	}
-	st, ok := s.idx.staleFor(ge.Name)
+	st, ok := s.idx.staleFor(ge.Name, approx)
 	if !ok {
 		return false
 	}
 	if vertexInRange(seed, st.idx.NumVertices()) != nil {
 		return false
 	}
-	res, queryUS, err := s.runLocal(st.idx, seed, mu, eps)
+	res, queryUS, err := s.runLocal(st.idx.LocalView(eps), seed, mu, eps)
 	if err != nil {
 		return false
 	}
@@ -169,6 +197,7 @@ func (s *Server) degradeLocal(w http.ResponseWriter, r *http.Request, ge *GraphE
 	s.log.Warn("serving stale local query", "graph", ge.Name, "cause", cause.Error())
 	w.Header().Set("X-Anyscan-Stale", "1")
 	resp := localResponse(ge.Name, res, wantMembers(r))
+	resp.Approx = effectiveApprox(st.idx)
 	resp.CacheHit = true
 	resp.Stale = true
 	resp.QueryMS = float64(queryUS) / 1000

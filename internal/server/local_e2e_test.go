@@ -339,10 +339,26 @@ func TestHandlerValidation(t *testing.T) {
 		{"local: mu below 1", "/v1/local?graph=g&seed=0&mu=0&eps=0.4", http.StatusBadRequest},
 		{"local: unknown graph", "/v1/local?graph=nope&seed=0&mu=3&eps=0.4", http.StatusNotFound},
 		{"local: bad min_epoch", "/v1/local?graph=g&seed=0&mu=3&eps=0.4&min_epoch=x", http.StatusBadRequest},
+		{"local: non-numeric approx", "/v1/local?graph=g&seed=0&mu=3&eps=0.4&approx=x", http.StatusBadRequest},
+		{"local: negative approx", "/v1/local?graph=g&seed=0&mu=3&eps=0.4&approx=-0.1", http.StatusBadRequest},
+		{"local: approx at 1", "/v1/local?graph=g&seed=0&mu=3&eps=0.4&approx=1", http.StatusBadRequest},
 		{"query: no params", "/v1/query", http.StatusBadRequest},
+		{"query: missing mu", "/v1/query?graph=g&eps=0.4", http.StatusBadRequest},
+		{"query: non-numeric mu", "/v1/query?graph=g&mu=x&eps=0.4", http.StatusBadRequest},
+		{"query: mu below 1", "/v1/query?graph=g&mu=0&eps=0.4", http.StatusBadRequest},
 		{"query: non-numeric eps", "/v1/query?graph=g&mu=3&eps=x", http.StatusBadRequest},
 		{"query: eps above 1", "/v1/query?graph=g&mu=3&eps=1.5", http.StatusBadRequest},
+		{"query: eps at 0", "/v1/query?graph=g&mu=3&eps=0", http.StatusBadRequest},
+		{"query: NaN eps", "/v1/query?graph=g&mu=3&eps=NaN", http.StatusBadRequest},
 		{"query: unknown graph", "/v1/query?graph=nope&mu=3&eps=0.4", http.StatusNotFound},
+		{"query: non-numeric approx", "/v1/query?graph=g&mu=3&eps=0.4&approx=x", http.StatusBadRequest},
+		{"query: negative approx", "/v1/query?graph=g&mu=3&eps=0.4&approx=-0.05", http.StatusBadRequest},
+		{"query: approx at 1", "/v1/query?graph=g&mu=3&eps=0.4&approx=1", http.StatusBadRequest},
+		{"query: approx above 1", "/v1/query?graph=g&mu=3&eps=0.4&approx=1.5", http.StatusBadRequest},
+		{"query: NaN approx", "/v1/query?graph=g&mu=3&eps=0.4&approx=NaN", http.StatusBadRequest},
+		{"query: approx with eps list", "/v1/query?graph=g&mu=3&eps=0.3,0.5&approx=0.05", http.StatusBadRequest},
+		{"query: approx with probed profile", "/v1/query?graph=g&mu=3&approx=0.05", http.StatusBadRequest},
+		{"query: bad eps in list", "/v1/query?graph=g&mu=3&eps=0.3,zap", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -38,6 +38,11 @@ type Metrics struct {
 	LocalFrontier atomic.Int64 // vertices touched by local-query frontier expansions
 	LocalQueryUS  atomic.Int64 // wall time spent answering local queries (µs)
 
+	ApproxQueries      atomic.Int64 // queries answered from a sketch-based approximate index
+	ApproxResolvedArcs atomic.Int64 // near-threshold arcs resolved exactly while answering approx queries
+	ApproxLiveExact    atomic.Int64 // approx requests on live graphs served exactly instead
+	ApproxIndexBuilds  atomic.Int64 // approximate (delta > 0) index builds completed
+
 	AdmissionAdmitted atomic.Int64 // heavy work admitted through the semaphore
 	AdmissionQueued   atomic.Int64 // admissions that waited in the bounded queue
 	AdmissionShed     atomic.Int64 // heavy work refused (queue full / timed out)
@@ -111,6 +116,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 		float64(m.IndexBuildUS.Load())/1000)
 	fmt.Fprintf(w, "# HELP anyscand_query_ms_total Wall time spent answering interactive queries.\n# TYPE anyscand_query_ms_total counter\nanyscand_query_ms_total %g\n",
 		float64(m.QueryUS.Load())/1000)
+	counter("anyscand_approx_queries_total", "Queries answered from a sketch-based approximate index.", m.ApproxQueries.Load())
+	counter("anyscand_approx_resolved_arcs_total", "Near-threshold arcs resolved exactly while answering approximate queries.", m.ApproxResolvedArcs.Load())
+	counter("anyscand_approx_live_exact_total", "Approximate requests on live graphs served exactly instead.", m.ApproxLiveExact.Load())
+	counter("anyscand_approx_index_builds_total", "Approximate (delta > 0) index builds completed.", m.ApproxIndexBuilds.Load())
 	counter("anyscand_local_queries_total", "Seed-centered local community queries served.", m.LocalQueries.Load())
 	counter("anyscand_local_frontier_vertices_total", "Vertices touched by local-query frontier expansions.", m.LocalFrontier.Load())
 	fmt.Fprintf(w, "# HELP anyscand_local_query_ms_total Wall time spent answering local community queries.\n# TYPE anyscand_local_query_ms_total counter\nanyscand_local_query_ms_total %g\n",

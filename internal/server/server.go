@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"anyscan/internal/faultinject"
+	"anyscan/internal/index"
 )
 
 // Config configures a Server.
@@ -480,10 +481,19 @@ func wantAssignments(r *http.Request) bool {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("graph")
-	mu, err1 := strconv.Atoi(q.Get("mu"))
-	if name == "" || err1 != nil {
+	if name == "" {
 		writeError(w, http.StatusBadRequest,
-			errors.New("need graph=<name>&mu=<int>[&eps=<float>[,<float>...]]"))
+			errors.New("need graph=<name>&mu=<int>[&eps=<float>[,<float>...]][&approx=<delta>]"))
+		return
+	}
+	mu, err := parseMuParam(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	approx, err := parseApproxParam(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	ge, err := s.reg.Get(name)
@@ -499,26 +509,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	raw := q.Get("eps")
 	if raw != "" && !strings.Contains(raw, ",") {
-		eps, err := strconv.ParseFloat(raw, 64)
+		eps, err := parseEpsParam(raw)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", raw))
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		s.serveClustering(w, r, ge, mu, eps, minEpoch)
+		s.serveClustering(w, r, ge, mu, eps, approx, minEpoch)
 		return
 	}
 
-	var epsValues []float64
-	for _, part := range strings.Split(raw, ",") {
-		if part = strings.TrimSpace(part); part == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps value %q", part))
-			return
-		}
-		epsValues = append(epsValues, v)
+	// Profile form (eps list or probed thresholds). Profiles are served from
+	// the exact sweep explorer; an accuracy dial would silently change what
+	// every point means, so the combination is rejected outright.
+	if approx > 0 {
+		writeError(w, http.StatusBadRequest,
+			errors.New("approx is only supported with a single eps (profile queries are always exact)"))
+		return
+	}
+	epsValues, err := parseEpsList(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	limit := 16
 	if rawLimit := q.Get("limit"); rawLimit != "" {
@@ -534,10 +545,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // index — explicitly marked stale — when the fresh build fails or is shed.
 // Read-your-writes requests (minEpoch > 0) never degrade: a stale answer
 // would silently violate the very guarantee the client asked for.
-func (s *Server) serveClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps float64, minEpoch int64) {
-	resp, code, err := s.queryClustering(r.Context(), ge, mu, eps, minEpoch, wantAssignments(r))
+func (s *Server) serveClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps, approx float64, minEpoch int64) {
+	resp, code, err := s.queryClustering(r.Context(), ge, mu, eps, approx, minEpoch, wantAssignments(r))
 	if err != nil {
-		if minEpoch == 0 && s.degradeClustering(w, r, ge, mu, eps, err) {
+		if minEpoch == 0 && s.degradeClustering(w, r, ge, mu, eps, approx, err) {
 			return
 		}
 		s.countDeadline(err)
@@ -550,11 +561,11 @@ func (s *Server) serveClustering(w http.ResponseWriter, r *http.Request, ge *Gra
 // degradeClustering serves a stale-marked clustering when the fresh index is
 // unavailable for capacity reasons (shed build, expired deadline, failed
 // rebuild) and a last good index exists. Parameter errors never degrade.
-func (s *Server) degradeClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps float64, cause error) bool {
+func (s *Server) degradeClustering(w http.ResponseWriter, r *http.Request, ge *GraphEntry, mu int, eps, approx float64, cause error) bool {
 	if !degradable(cause) {
 		return false
 	}
-	st, ok := s.idx.staleFor(ge.Name)
+	st, ok := s.idx.staleFor(ge.Name, approx)
 	if !ok {
 		return false
 	}
@@ -573,12 +584,24 @@ func (s *Server) degradeClustering(w http.ResponseWriter, r *http.Request, ge *G
 		Graph:             ge.Name,
 		Mu:                mu,
 		Eps:               eps,
+		Approx:            effectiveApprox(st.idx),
 		CacheHit:          true,
 		Stale:             true,
 		QueryMS:           float64(queryUS) / 1000,
 		ClusteringPayload: clusteringPayload(res, wantAssignments(r)),
 	})
 	return true
+}
+
+// effectiveApprox is the accuracy dial an answer from idx was actually
+// computed at: the index's delta when the sketch path is in effect, 0 when
+// the index is exact — including approximate builds that fell back to the
+// exact similarity pass (non-unit edge weights).
+func effectiveApprox(idx *index.Index) float64 {
+	if a := idx.Approx(); a.Delta > 0 && !a.ExactFallback {
+		return a.Delta
+	}
+	return 0
 }
 
 // degradable reports whether an error is a capacity condition that stale
@@ -600,17 +623,27 @@ func (s *Server) countDeadline(err error) {
 // queryClustering answers one (μ, ε) clustering. Graphs with live epoch
 // chains (mutated via POST /graphs/{name}/edges) are served from the current
 // epoch so mutations are visible; everything else takes the immutable-index
-// path. A minEpoch bound on an unmutated graph is a 409: no epoch chain
-// exists that could ever satisfy it.
-func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, eps float64, minEpoch int64, withAssignments bool) (QueryResponse, int, error) {
+// path — sketch-approximate when the request carries an accuracy dial. A
+// minEpoch bound on an unmutated graph is a 409: no epoch chain exists that
+// could ever satisfy it.
+func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, eps, approx float64, minEpoch int64, withAssignments bool) (QueryResponse, int, error) {
 	if lg, ok := s.liveGraphs.lookup(ge.Name, ge.G); ok {
+		if approx > 0 {
+			// Live epochs carry exact σ (incremental maintenance would
+			// invalidate sketch error bands batch by batch), so approx
+			// requests on mutated graphs are answered exactly — a strictly
+			// stronger guarantee than the client asked for.
+			s.met.ApproxLiveExact.Add(1)
+			s.log.Warn("approx query on live graph served exactly",
+				"graph", ge.Name, "approx", approx)
+		}
 		return s.liveClustering(ctx, ge, lg, mu, eps, minEpoch, withAssignments)
 	}
 	if minEpoch > 0 {
 		return QueryResponse{}, http.StatusConflict,
 			fmt.Errorf("graph %q has no live epochs; min_epoch requires a mutated graph", ge.Name)
 	}
-	idx, hit, buildMS, err := s.idx.get(ctx, ge)
+	idx, hit, buildMS, err := s.idx.get(ctx, ge, approx)
 	if err != nil {
 		return QueryResponse{}, http.StatusBadRequest, err
 	}
@@ -624,6 +657,7 @@ func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, ep
 		}
 		defer release()
 	}
+	resolvedBefore := idx.Approx().Resolved
 	start := time.Now()
 	res, err := idx.Query(mu, eps)
 	if err != nil {
@@ -632,10 +666,16 @@ func (s *Server) queryClustering(ctx context.Context, ge *GraphEntry, mu int, ep
 	queryUS := time.Since(start).Microseconds()
 	s.met.QueryUS.Add(queryUS)
 	s.met.QueriesServed.Add(1)
+	effective := effectiveApprox(idx)
+	if effective > 0 {
+		s.met.ApproxQueries.Add(1)
+		s.met.ApproxResolvedArcs.Add(idx.Approx().Resolved - resolvedBefore)
+	}
 	return QueryResponse{
 		Graph:             ge.Name,
 		Mu:                mu,
 		Eps:               eps,
+		Approx:            effective,
 		CacheHit:          hit,
 		BuildMS:           buildMS,
 		QueryMS:           float64(queryUS) / 1000,
@@ -711,7 +751,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorCode(err), err)
 		return
 	}
-	s.serveClustering(w, r, ge, mu, eps, 0)
+	s.serveClustering(w, r, ge, mu, eps, 0, 0)
 }
 
 // handleSweep answers the deprecated GET /sweep endpoint (now an alias of
